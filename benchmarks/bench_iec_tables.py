@@ -1,0 +1,58 @@
+"""T-A / T-B — §2: the IEC 61508 tables the methodology relies on.
+
+* the SFF/HFT architectural-constraint table ("With a HFT equal to
+  zero, a SFF equal or greater than 99% is required in order that the
+  system or component can be granted with SIL3.  With a HFT equal to
+  one, the SFF should be greater than 90%");
+* the Annex A maximum-DC claims ("RAM monitoring with Hamming code or
+  ECCs or double RAMs with hardware/software comparison are the ones
+  with the highest value").
+"""
+
+from conftest import report
+
+from repro.iec61508 import (
+    DcLevel,
+    SIL,
+    Target,
+    architecture_table,
+    max_sil,
+    required_sff,
+    technique,
+    techniques_for,
+)
+
+
+def test_sff_hft_table(benchmark):
+    table = benchmark(lambda: architecture_table(type_b=True))
+    report(benchmark, rows=[(label, cells) for label, cells in table])
+
+    assert len(table) == 4
+    # paper-quoted rows
+    assert max_sil(0.99, hft=0) is SIL.SIL3
+    assert max_sil(0.95, hft=0) is SIL.SIL2
+    assert max_sil(0.90, hft=1) is SIL.SIL3
+    assert required_sff(SIL.SIL3, hft=0) == 0.99
+    assert required_sff(SIL.SIL3, hft=1) == 0.90
+    # type B, SFF < 60 %, HFT 0: not allowed
+    assert table[0][1][0] == "not allowed"
+
+
+def test_technique_dc_table(benchmark):
+    rows = benchmark(lambda: [
+        (t.key, t.name, t.max_dc.label, t.table)
+        for target in Target for t in techniques_for(target)])
+    report(benchmark, techniques=len(rows))
+
+    assert len(rows) >= 25
+    # the paper's §2 ordering: Hamming/ECC and double-RAM are 'high'
+    assert technique("ram_ecc_hamming").max_dc is DcLevel.HIGH
+    assert technique("ram_double_comparison").max_dc is DcLevel.HIGH
+    assert technique("ram_parity").max_dc is DcLevel.LOW
+    # every target class has at least one catalogued technique
+    for target in Target:
+        assert techniques_for(target), target
+    # the three claim levels carry the canonical values
+    assert float(DcLevel.LOW.value) == 0.60
+    assert float(DcLevel.MEDIUM.value) == 0.90
+    assert float(DcLevel.HIGH.value) == 0.99

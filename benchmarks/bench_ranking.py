@@ -1,0 +1,64 @@
+"""E9 — §6: the criticality ranking of the baseline design.
+
+"the spreadsheet identified the critical zones.  Besides the memory
+array itself, the most critical blocks were the BIST control logic, the
+registers involved in addresses latching, most of the blocks of the
+decoder, the registers of the write buffer, some of the blocks of the
+MCE handling the interconnections with the bus and so forth."
+"""
+
+from conftest import report
+
+from repro.fmea import critical_zones, rank_zones
+
+
+def test_baseline_criticality_ranking(benchmark, baseline_full):
+    sheet = baseline_full.worksheet()
+
+    ranking = benchmark(lambda: rank_zones(sheet))
+    top = [row.zone for row in ranking[:30]]
+    report(benchmark, top10=top[:10])
+
+    joined = " ".join(top)
+    # the paper's named culprits must appear among the critical zones
+    assert "fmem/wbuf" in joined, "write-buffer registers"
+    assert "fmem/decoder" in joined, "decoder blocks"
+    assert "memctrl" in joined or "mce" in joined, \
+        "controller/MCE logic"
+    # ranking is sorted by decreasing dangerous-undetected rate
+    dus = [row.rates.lambda_du for row in ranking]
+    assert dus == sorted(dus, reverse=True)
+    # cumulative share reaches 100 %
+    assert abs(ranking[-1].cumulative - 1.0) < 1e-9
+
+
+def test_improved_ranking_drains_the_same_zones(benchmark,
+                                                baseline_full,
+                                                improved_full):
+    """The improvements must specifically reduce the baseline's top
+    culprits (that is what the redesign targeted)."""
+    def run():
+        base = baseline_full.worksheet()
+        impr = improved_full.worksheet()
+        return base.totals_by_zone(), impr.totals_by_zone()
+
+    base_by, impr_by = benchmark(run)
+    base_top = sorted(base_by.items(),
+                      key=lambda kv: -kv[1].lambda_du)[:8]
+    improved_better = 0
+    for zone, rates in base_top:
+        after = impr_by.get(zone)
+        if after is None or after.lambda_du < rates.lambda_du:
+            improved_better += 1
+    report(benchmark,
+           baseline_top=[z for z, _ in base_top],
+           improved_on=improved_better)
+    assert improved_better >= 6
+
+
+def test_critical_zone_thresholding(benchmark, baseline_full):
+    sheet = baseline_full.worksheet()
+    crit = benchmark(lambda: critical_zones(sheet,
+                                            du_share_threshold=0.02))
+    report(benchmark, critical=crit)
+    assert 3 <= len(crit) <= 40

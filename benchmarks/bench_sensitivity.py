@@ -1,0 +1,46 @@
+"""E4 — §4/§6: sensitivity of the final DC/SFF to assumption spans.
+
+"it was very stable as well, i.e. changes on S, D, F and fault models
+didn't change the result in a sensible way" — the improved design must
+hold SIL3 (SFF >= 99 %) under every span; the baseline, sitting on
+uncovered logic, moves more.
+"""
+
+from repro.fmea import stability_report
+
+
+def test_improved_stability(benchmark, improved_full):
+    sheet = improved_full.worksheet()
+
+    result = benchmark(lambda: stability_report(sheet))
+    benchmark.extra_info.update({
+        "paper": "very stable — spans don't change the result",
+        "nominal_sff": f"{result.nominal_sff * 100:.2f}%",
+        "min_sff": f"{result.min_sff * 100:.2f}%",
+        "max_delta": f"{result.max_delta_sff * 100:.2f} pt",
+    })
+    assert result.nominal_sff >= 0.99
+    assert result.min_sff >= 0.99           # SIL3 holds everywhere
+    assert result.max_delta_sff < 0.005     # < half a point of swing
+
+
+def test_baseline_moves_more(benchmark, baseline_full, improved_full):
+    def run():
+        return (stability_report(baseline_full.worksheet()),
+                stability_report(improved_full.worksheet()))
+
+    base, impr = benchmark(run)
+    benchmark.extra_info.update({
+        "baseline_max_delta": f"{base.max_delta_sff * 100:.2f} pt",
+        "improved_max_delta": f"{impr.max_delta_sff * 100:.2f} pt",
+    })
+    assert base.max_delta_sff > impr.max_delta_sff
+
+
+def test_every_span_keeps_metrics_valid(benchmark, improved_full):
+    result = benchmark(lambda: stability_report(
+        improved_full.worksheet()))
+    assert len(result.results) >= 7
+    for span in result.results:
+        assert 0.0 <= span.sff <= 1.0
+        assert 0.0 <= span.dc <= 1.0

@@ -1,0 +1,51 @@
+"""E1 — §6: "about 170 sensible zones resulted, including the memory
+controller, the memory and the F-MEM/MCE blocks".
+
+Extracts the sensible zones of the paper-size improved memory
+sub-system and checks the count lands on the paper's order of
+magnitude, with every §3 zone category present.
+"""
+
+from conftest import report
+
+from repro.zones import ZoneKind, extract_zones
+
+
+def test_zone_extraction_count(benchmark, improved_full):
+    sub = improved_full
+
+    def run():
+        return sub.extract_zones()
+
+    zone_set = benchmark(run)
+
+    count = len(zone_set)
+    report(benchmark)
+    benchmark.extra_info.update({
+        "paper_zones": "about 170",
+        "measured_zones": count,
+        "breakdown": zone_set.summary(),
+    })
+
+    # shape: on the order of 170 (same design family, not same RTL)
+    assert 120 <= count <= 220, count
+    # every §3 category must be represented
+    for kind in (ZoneKind.REGISTER, ZoneKind.MEMORY,
+                 ZoneKind.PRIMARY_OUTPUT, ZoneKind.CRITICAL_NET,
+                 ZoneKind.SUBBLOCK):
+        assert zone_set.of_kind(kind), kind
+    # the memory controller, the memory and the F-MEM/MCE blocks all
+    # contribute zones, as the paper reports
+    names = " ".join(z.name for z in zone_set.zones)
+    for block in ("memctrl", "memarray", "fmem", "mce"):
+        assert block in names
+
+
+def test_cone_statistics_populated(benchmark, baseline_full):
+    zone_set = benchmark(lambda: extract_zones(
+        baseline_full.circuit, baseline_full.extraction_config()))
+    regs = zone_set.of_kind(ZoneKind.REGISTER)
+    with_cones = [z for z in regs if z.cone_gates > 0]
+    assert len(with_cones) > len(regs) * 0.5
+    assert zone_set.correlation is not None
+    assert zone_set.correlation.wide_gate_count > 0

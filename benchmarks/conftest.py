@@ -1,0 +1,36 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Paper-size (32-bit data, 256 words) subsystems are used for the static
+analyses (extraction, FMEA, sensitivity); the reduced (8-bit, 16-word)
+configuration is used for simulation-heavy campaigns, where the
+absolute gate counts do not change the methodology's behaviour.
+"""
+
+import pytest
+
+from repro.soc import MemorySubsystem, SubsystemConfig
+
+
+@pytest.fixture(scope="session")
+def baseline_full():
+    return MemorySubsystem(SubsystemConfig.baseline())
+
+
+@pytest.fixture(scope="session")
+def improved_full():
+    return MemorySubsystem(SubsystemConfig.improved())
+
+
+@pytest.fixture(scope="session")
+def baseline_small():
+    return MemorySubsystem(SubsystemConfig.small_baseline())
+
+
+@pytest.fixture(scope="session")
+def improved_small():
+    return MemorySubsystem(SubsystemConfig.small_improved())
+
+
+def report(benchmark, **extra):
+    """Attach paper-vs-measured numbers to the benchmark record."""
+    benchmark.extra_info.update(extra)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The paper's §6 experiment: baseline vs improved memory sub-system.
+
+Reproduces the narrative:
+
+* extract the sensible zones of the F-MEM/MCE memory sub-system
+  (paper: "about 170 sensible zones resulted");
+* baseline implementation: SEC-DED with write buffer + decoder pipeline
+  — "resulting SFF (around 95%) was not enough to reach SIL3";
+* improved implementation (address in the ECC, write-buffer parity,
+  coder checker, double-redundant post-pipeline checker, distributed
+  syndrome checking, SW start-up tests) — "the resulting SFF of this
+  second implementation was 99,38%";
+* the criticality ranking that drove the redesign.
+
+Run:  python examples/memory_subsystem_fmea.py
+"""
+
+from repro.fmea import criticality_report, stability_report, \
+    summary_report
+from repro.iec61508 import SIL, max_sil
+from repro.soc import MemorySubsystem, SubsystemConfig
+
+
+def analyze(label: str, cfg: SubsystemConfig):
+    sub = MemorySubsystem(cfg)
+    zone_set = sub.extract_zones()
+    sheet = sub.worksheet(zone_set)
+    totals = sheet.totals()
+    granted = max_sil(totals.sff, hft=0)
+
+    print(f"\n{'=' * 66}\n{label}: {cfg.name}\n{'=' * 66}")
+    print(f"netlist: {sub.circuit.stats()}")
+    print(f"sensible zones extracted: {len(zone_set)} "
+          f"({zone_set.summary()})")
+    print()
+    print(summary_report(sheet))
+    print()
+    print(criticality_report(sheet, top=10))
+    verdict = "reaches SIL3" if granted and granted >= SIL.SIL3 \
+        else "NOT enough for SIL3"
+    print(f"\n=> SFF {totals.sff * 100:.2f}% at HFT=0: {verdict}")
+    return sheet, totals
+
+
+def main():
+    baseline_sheet, baseline = analyze(
+        "First implementation (baseline)", SubsystemConfig.baseline())
+    improved_sheet, improved = analyze(
+        "Second implementation (improved)", SubsystemConfig.improved())
+
+    print(f"\n{'=' * 66}\nPaper vs reproduction\n{'=' * 66}")
+    print(f"{'':<26}{'paper':>12}{'this repo':>14}")
+    print(f"{'baseline SFF':<26}{'~95%':>12}"
+          f"{baseline.sff * 100:>13.2f}%")
+    print(f"{'improved SFF':<26}{'99.38%':>12}"
+          f"{improved.sff * 100:>13.2f}%")
+    print(f"{'SIL3 bar (HFT=0)':<26}{'99%':>12}{'99%':>14}")
+
+    # §4/§6: the improved result must be *stable* under assumption spans
+    print("\nsensitivity of the improved design "
+          "(spans on fault models, S, DDF, F):")
+    report = stability_report(improved_sheet)
+    print(report.summary())
+    print(f"=> stable (max swing {report.max_delta_sff * 100:.2f} pt, "
+          f"min SFF {report.min_sff * 100:.2f}%): "
+          f"{'yes' if report.min_sff >= 0.99 else 'no'} — "
+          f"SIL3 holds across all spans"
+          if report.min_sff >= 0.99 else "=> NOT stable")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro — SoC-level FMEA methodology for IEC 61508 (DATE 2007).
+
+A full open-source reproduction of Mariani, Boschi & Colucci,
+*"Using an innovative SoC-level FMEA methodology to design in compliance
+with IEC61508"*, DATE 2007:
+
+* :mod:`repro.hdl` — gate-level netlist IR, RTL-like builder DSL and a
+  bit-parallel fault simulator (the "synthesized RTL" substrate);
+* :mod:`repro.ecc` — parity / SEC-DED Hsiao coding, reference and
+  gate-level;
+* :mod:`repro.zones` — sensible-zone extraction, logic-cone statistics,
+  local/wide/global fault classification and effect prediction;
+* :mod:`repro.iec61508` — SIL tables, λ-algebra, diagnostic-technique
+  catalog and failure-mode catalog from the norm;
+* :mod:`repro.fmea` — the FMEA "spreadsheet": S/D/F factors, FIT models,
+  DC/SFF computation, ranking, sensitivity analysis;
+* :mod:`repro.soc` — the paper's §6 memory sub-system (F-MEM + MCE) in
+  baseline and improved variants, plus workloads;
+* :mod:`repro.faultinjection` — the §5 validation flow: operational
+  profiler, fault-list collapser/randomizer, campaign manager,
+  SENS/OBSE/DIAG monitors, result analyzer and fault simulator;
+* :mod:`repro.analysis` — companion scrubbing/AVF analyses.
+"""
+
+__version__ = "1.0.0"
+
+from . import hdl  # noqa: F401

@@ -1,0 +1,29 @@
+"""Companion analyses: AVF cross-checks and scrub-interval modeling."""
+
+from .avf import (
+    AvfEstimate,
+    AvfReport,
+    assumed_dangerous_fraction,
+    avf_report,
+    injected_avf,
+    structural_exposure,
+)
+from .derating import (
+    DeratingResult,
+    derated_gate_fit,
+    measure_set_derating,
+)
+from .scrubbing import (
+    AccumulationResult,
+    ScrubModel,
+    scrub_benefit_table,
+    simulate_accumulation,
+)
+
+__all__ = [
+    "AvfEstimate", "AvfReport", "assumed_dangerous_fraction",
+    "avf_report", "injected_avf", "structural_exposure",
+    "AccumulationResult", "ScrubModel", "scrub_benefit_table",
+    "simulate_accumulation",
+    "DeratingResult", "derated_gate_fit", "measure_set_derating",
+]

@@ -1,0 +1,148 @@
+"""Architectural-vulnerability cross-checks (paper refs [13][14]).
+
+The FMEA's S factors claim that a fraction of raw failures never
+perturbs the safety function — the same quantity the AVF literature
+(Mukherjee et al.) measures as ``1 - AVF``.  This module provides two
+independent estimates and the comparison against the worksheet's
+assumptions:
+
+* **structural exposure**: from the operational profile, the fraction
+  of time a zone holds live (recently written, not yet overwritten)
+  state — an ACE-style upper bound on vulnerability;
+* **injected AVF**: from an injection campaign, the fraction of faults
+  in the zone that produced a dangerous outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..fmea.worksheet import FmeaWorksheet
+from ..reporting.tables import pct, render_table
+from ..zones.extractor import ZoneSet
+from ..zones.model import SensibleZone, ZoneKind
+
+
+@dataclass
+class AvfEstimate:
+    """Vulnerability estimates for one zone."""
+
+    zone: str
+    structural_exposure: float | None = None
+    injected_avf: float | None = None
+    assumed_dangerous_fraction: float | None = None
+
+    def consistent(self, tolerance: float = 0.35) -> bool | None:
+        """Does the FMEA's danger assumption cover the measured AVF?
+
+        The assumption is adequate when it is not *below* the injected
+        AVF by more than the tolerance (conservative assumptions are
+        fine).  None when no injected measurement exists.
+        """
+        if self.injected_avf is None or \
+                self.assumed_dangerous_fraction is None:
+            return None
+        return self.assumed_dangerous_fraction >= \
+            self.injected_avf - tolerance
+
+
+def structural_exposure(profile, zone: SensibleZone) -> float | None:
+    """Activity-window fraction of the run for a storage zone.
+
+    For registers: fraction of cycles within the window starting at
+    each value change (a value written and later rewritten was live in
+    between — the conservative ACE reading counts the full interval
+    between consecutive writes, bounded at the end of the run).
+    """
+    if zone.kind is ZoneKind.REGISTER:
+        length = profile.length
+        if length == 0:
+            return None
+        live = 0
+        for flop in zone.flops:
+            toggles = profile.flop_toggles.get(flop, [])
+            if not toggles:
+                continue
+            # live from the first write to the end of the run
+            live += length - toggles[0]
+        return min(1.0, live / (length * max(1, len(zone.flops))))
+    if zone.kind is ZoneKind.MEMORY and zone.memory is not None:
+        accesses = profile.mem_accesses.get(zone.memory, [])
+        lo, hi = zone.mem_words or (0, 1 << 30)
+        touched = {a.addr for a in accesses if lo <= a.addr <= hi}
+        words = (hi - lo + 1) if zone.mem_words else max(1, len(touched))
+        return min(1.0, len(touched) / words)
+    return None
+
+
+def injected_avf(campaign, zone_name: str) -> float | None:
+    """Fraction of the zone's injections with a dangerous outcome."""
+    dangerous = total = 0
+    for res in campaign.results:
+        if res.fault.zone != zone_name:
+            continue
+        total += 1
+        if campaign.outcome_of(res) in ("dangerous_detected",
+                                        "dangerous_undetected"):
+            dangerous += 1
+    if total == 0:
+        return None
+    return dangerous / total
+
+
+def assumed_dangerous_fraction(sheet: FmeaWorksheet,
+                               zone_name: str) -> float | None:
+    """1 - S (weighted by raw FIT) as assumed by the worksheet."""
+    rows = sheet.rows_for_zone(zone_name)
+    if not rows:
+        return None
+    total_fit = sum(e.raw_fit for e in rows)
+    if total_fit == 0:
+        return None
+    dangerous = sum(e.raw_fit * (1.0 - e.safe_fraction) for e in rows)
+    return dangerous / total_fit
+
+
+@dataclass
+class AvfReport:
+    """All three vulnerability views, zone by zone."""
+
+    estimates: list[AvfEstimate] = field(default_factory=list)
+
+    def inconsistent(self, tolerance: float = 0.35) -> list[AvfEstimate]:
+        return [e for e in self.estimates
+                if e.consistent(tolerance) is False]
+
+    def render(self) -> str:
+        rows = []
+        for e in self.estimates:
+            rows.append([
+                e.zone,
+                "-" if e.structural_exposure is None
+                else pct(e.structural_exposure, 0),
+                "-" if e.injected_avf is None else pct(e.injected_avf, 0),
+                "-" if e.assumed_dangerous_fraction is None
+                else pct(e.assumed_dangerous_fraction, 0),
+                {True: "ok", False: "LOW", None: "n/a"}[e.consistent()],
+            ])
+        return render_table(
+            ["zone", "exposure", "injected AVF", "assumed D", "verdict"],
+            rows, title="=== vulnerability cross-check (AVF) ===")
+
+
+def avf_report(zone_set: ZoneSet, sheet: FmeaWorksheet, campaign=None,
+               profile=None) -> AvfReport:
+    """Build the AVF cross-check for all storage zones."""
+    report = AvfReport()
+    for zone in zone_set.zones:
+        if zone.kind not in (ZoneKind.REGISTER, ZoneKind.MEMORY):
+            continue
+        report.estimates.append(AvfEstimate(
+            zone=zone.name,
+            structural_exposure=None if profile is None
+            else structural_exposure(profile, zone),
+            injected_avf=None if campaign is None
+            else injected_avf(campaign, zone.name),
+            assumed_dangerous_fraction=assumed_dangerous_fraction(
+                sheet, zone.name)))
+    return report

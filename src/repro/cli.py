@@ -1,0 +1,251 @@
+"""``soc-fmea`` command-line interface.
+
+Exposes the methodology end to end from a shell::
+
+    soc-fmea zones --variant improved
+    soc-fmea fmea --variant baseline --csv baseline.csv
+    soc-fmea validate --variant improved --quick
+    soc-fmea sensitivity --variant improved
+    soc-fmea verilog --variant baseline -o memss.v
+    soc-fmea compare
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .fmea.report import full_report
+from .fmea.sensitivity import stability_report
+from .hdl.verilog import write_verilog
+from .iec61508.sil import SIL, max_sil
+from .reporting.tables import pct, render_kv, render_table
+from .soc.config import SubsystemConfig
+from .soc.subsystem import MemorySubsystem
+
+
+def _make_subsystem(args) -> MemorySubsystem:
+    factory = {
+        "baseline": SubsystemConfig.baseline,
+        "improved": SubsystemConfig.improved,
+        "small-baseline": SubsystemConfig.small_baseline,
+        "small-improved": SubsystemConfig.small_improved,
+    }[args.variant]
+    return MemorySubsystem(factory())
+
+
+def cmd_zones(args) -> int:
+    sub = _make_subsystem(args)
+    zone_set = sub.extract_zones()
+    print(render_kv(sorted(zone_set.summary().items()),
+                    title=f"sensible zones of {sub.cfg.name}"))
+    if args.list:
+        rows = [[z.name, z.kind.value, z.size_bits, z.cone_gates]
+                for z in zone_set.zones]
+        print(render_table(["zone", "kind", "bits", "cone gates"], rows))
+    return 0
+
+
+def cmd_fmea(args) -> int:
+    sub = _make_subsystem(args)
+    sheet = sub.worksheet()
+    print(full_report(sheet, hft=args.hft, top=args.top))
+    if args.csv:
+        sheet.save_csv(args.csv)
+        print(f"\nworksheet written to {args.csv}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from .faultinjection.validation import ValidationConfig, \
+        run_validation
+    sub = _make_subsystem(args)
+    report = run_validation(sub, config=ValidationConfig(
+        quick=not args.full))
+    print(report.summary())
+    if report.coverage is not None:
+        print(report.coverage.report())
+    return 0 if report.passed else 1
+
+
+def cmd_sensitivity(args) -> int:
+    sub = _make_subsystem(args)
+    report = stability_report(sub.worksheet())
+    print(report.summary())
+    stable = report.stable(args.tolerance)
+    print(f"stable at ±{args.tolerance * 100:.1f} pt: "
+          f"{'yes' if stable else 'no'}")
+    return 0
+
+
+def cmd_verilog(args) -> int:
+    sub = _make_subsystem(args)
+    text = write_verilog(sub.circuit)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"netlist written to {args.output} "
+              f"({len(text.splitlines())} lines)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_xcheck(args) -> int:
+    """Reset-coverage / X-propagation sign-off check."""
+    from .hdl.xprop import reset_coverage
+    sub = _make_subsystem(args)
+    reset = [sub.reset_op() for _ in range(args.reset_cycles)]
+    check = [sub.write(2, 0x11), sub.idle(), sub.idle(),
+             sub.read(2), sub.idle(), sub.idle(), sub.idle()]
+    report = reset_coverage(sub.circuit, reset, check)
+    print(report.summary())
+    if args.list and report.unknown_after_reset:
+        for name in report.unknown_after_reset:
+            print(f"  X: {name}")
+    print("sign-off:", "CLEAN (no X observable at outputs)"
+          if report.clean else "FAIL — X reaches outputs")
+    return 0 if report.clean else 1
+
+
+def cmd_derating(args) -> int:
+    """Measure the SET latch-window derating on the design."""
+    from .analysis.derating import measure_set_derating
+    from .soc.workloads import validation_workload
+    sub = _make_subsystem(args)
+    workload = validation_workload(sub, quick=True)
+    result = measure_set_derating(
+        sub.circuit, list(workload), samples=args.samples,
+        seed=args.seed, setup=lambda s: sub.preload(s, {}))
+    print(result.summary())
+    print(f"apply to FitModel.gate_transient_fit: multiply the raw "
+          f"SET rate by {result.latch_fraction:.3f}")
+    return 0
+
+
+def cmd_dossier(args) -> int:
+    """Full certification dossier: FMEA + validation + sensitivity."""
+    from .faultinjection.validation import ValidationConfig, \
+        run_validation
+    from .reporting.dossier import build_dossier
+    sub = _make_subsystem(args)
+    zone_set = sub.extract_zones()
+    sheet = sub.worksheet(zone_set)
+    validation = None
+    if not args.no_validation:
+        validation = run_validation(sub, config=ValidationConfig())
+    text = build_dossier(sub.cfg.name, sub, zone_set, sheet,
+                         validation=validation,
+                         target_sil=SIL(args.target_sil),
+                         hft=args.hft)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"dossier written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Baseline vs improved headline metrics (the §6 experiment)."""
+    rows = []
+    for label, factory in (("baseline", SubsystemConfig.baseline),
+                           ("improved", SubsystemConfig.improved)):
+        sub = MemorySubsystem(factory())
+        zone_set = sub.extract_zones()
+        totals = sub.worksheet(zone_set).totals()
+        granted = max_sil(totals.sff, hft=0)
+        rows.append([label, len(zone_set), pct(totals.sff),
+                     pct(totals.dc),
+                     granted.name if granted else "none",
+                     "yes" if granted and granted >= SIL.SIL3
+                     else "no"])
+    print(render_table(
+        ["variant", "zones", "SFF", "DC", "SIL @ HFT=0", "SIL3?"],
+        rows, title="=== §6 experiment: baseline vs improved ==="))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="soc-fmea",
+        description="SoC-level FMEA for IEC 61508 (DATE'07 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_variant(p):
+        p.add_argument("--variant", default="improved",
+                       choices=["baseline", "improved",
+                                "small-baseline", "small-improved"])
+
+    p = sub.add_parser("zones", help="extract sensible zones")
+    add_variant(p)
+    p.add_argument("--list", action="store_true",
+                   help="print every zone")
+    p.set_defaults(func=cmd_zones)
+
+    p = sub.add_parser("fmea", help="build and print the worksheet")
+    add_variant(p)
+    p.add_argument("--hft", type=int, default=0)
+    p.add_argument("--top", type=int, default=15)
+    p.add_argument("--csv", help="also export the sheet as CSV")
+    p.set_defaults(func=cmd_fmea)
+
+    p = sub.add_parser("validate",
+                       help="run the §5 fault-injection validation")
+    add_variant(p)
+    p.add_argument("--full", action="store_true",
+                   help="use the full (slow) campaign workload")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("sensitivity",
+                       help="span S/D/F and fault-model assumptions")
+    add_variant(p)
+    p.add_argument("--tolerance", type=float, default=0.005)
+    p.set_defaults(func=cmd_sensitivity)
+
+    p = sub.add_parser("verilog", help="dump the structural netlist")
+    add_variant(p)
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_verilog)
+
+    p = sub.add_parser("xcheck",
+                       help="reset-coverage / X-propagation check")
+    add_variant(p)
+    p.add_argument("--reset-cycles", type=int, default=3)
+    p.add_argument("--list", action="store_true",
+                   help="list flops still X after reset")
+    p.set_defaults(func=cmd_xcheck)
+
+    p = sub.add_parser("derating",
+                       help="measure the SET latch-window derating")
+    add_variant(p)
+    p.add_argument("--samples", type=int, default=200)
+    p.add_argument("--seed", type=int, default=20)
+    p.set_defaults(func=cmd_derating)
+
+    p = sub.add_parser("dossier",
+                       help="full certification dossier")
+    add_variant(p)
+    p.add_argument("--target-sil", type=int, default=3,
+                   choices=[1, 2, 3, 4])
+    p.add_argument("--hft", type=int, default=0)
+    p.add_argument("--no-validation", action="store_true",
+                   help="skip the injection campaign (faster)")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_dossier)
+
+    p = sub.add_parser("compare",
+                       help="baseline vs improved headline table")
+    p.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

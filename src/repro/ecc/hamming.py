@@ -1,0 +1,178 @@
+"""SEC-DED coding with the Hsiao (odd-weight-column modified Hamming)
+construction used by the paper's coder/decoder.
+
+Provides both a bit-exact reference model (:class:`SecDedCode`) and
+gate-level generators (:func:`build_encoder`, :func:`build_syndrome`,
+:func:`build_corrector`) that lower to XOR trees through the builder
+DSL, so the decoder logic itself becomes part of the analyzed netlist —
+exactly the situation §6 of the paper studies (errors *inside* the
+coder/decoder are failure modes too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..hdl.builder import Module, Vec
+from ..hdl.library import equals_const
+
+
+def hsiao_columns(r: int, count: int, skip_units: bool = True) -> list[int]:
+    """``count`` distinct odd-weight columns of height ``r``.
+
+    Unit-weight columns are reserved for the check bits themselves when
+    ``skip_units`` is true.  Columns are produced weight-3 first (then
+    5, 7, ...) which is the Hsiao minimum-weight heuristic.
+    """
+    cols: list[int] = []
+    start_weight = 3 if skip_units else 1
+    for weight in range(start_weight, r + 1, 2):
+        for positions in combinations(range(r), weight):
+            col = 0
+            for p in positions:
+                col |= 1 << p
+            cols.append(col)
+            if len(cols) == count:
+                return cols
+    raise ValueError(
+        f"cannot build {count} odd-weight columns of height {r}")
+
+
+def _comb(n: int, k: int) -> int:
+    from math import comb
+    return comb(n, k)
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of a SEC-DED decode."""
+
+    data: int
+    corrected: bool
+    uncorrectable: bool
+    error_position: int | None = None  # data-bit index if corrected
+
+
+class SecDedCode:
+    """A (k + r, k) Hsiao SEC-DED code.
+
+    ``columns[i]`` is the r-bit syndrome signature of data bit ``i``;
+    check bit ``j`` has the unit signature ``1 << j``.
+    """
+
+    def __init__(self, data_bits: int, check_bits: int | None = None):
+        self.k = data_bits
+        self.r = check_bits if check_bits is not None \
+            else suggest_check_bits(data_bits)
+        self.n = self.k + self.r
+        self.columns = hsiao_columns(self.r, self.k)
+        self._column_index = {col: i for i, col in enumerate(self.columns)}
+
+    # -- reference model ------------------------------------------------
+    def encode(self, data: int) -> int:
+        """Check bits for a data word."""
+        check = 0
+        for i in range(self.k):
+            if (data >> i) & 1:
+                check ^= self.columns[i]
+        return check
+
+    def codeword(self, data: int) -> int:
+        """Data in the low k bits, check bits above."""
+        return (self.encode(data) << self.k) | (data & ((1 << self.k) - 1))
+
+    def syndrome(self, data: int, check: int) -> int:
+        return self.encode(data) ^ check
+
+    def decode(self, data: int, check: int) -> DecodeResult:
+        synd = self.syndrome(data, check)
+        if synd == 0:
+            return DecodeResult(data, False, False)
+        weight = bin(synd).count("1")
+        if weight % 2 == 0:
+            return DecodeResult(data, False, True)
+        if synd in self._column_index:
+            pos = self._column_index[synd]
+            return DecodeResult(data ^ (1 << pos), True, False, pos)
+        if weight == 1:
+            # error in a check bit: data is intact
+            return DecodeResult(data, True, False)
+        # odd-weight syndrome not matching any column: detectable,
+        # not correctable (3+ bit error aliasing)
+        return DecodeResult(data, False, True)
+
+    def decode_word(self, codeword: int) -> DecodeResult:
+        data = codeword & ((1 << self.k) - 1)
+        check = codeword >> self.k
+        return self.decode(data, check)
+
+    def distance_check(self) -> bool:
+        """All column signatures distinct and odd weight (SEC-DED)."""
+        if len(set(self.columns)) != self.k:
+            return False
+        return all(bin(c).count("1") % 2 == 1 for c in self.columns)
+
+
+def suggest_check_bits(data_bits: int) -> int:
+    """Smallest r with enough non-unit odd-weight columns for the data.
+
+    Yields the classic values: 8 data -> 5 check, 16 -> 6, 32 -> 7,
+    64 -> 8.
+    """
+    r = 3
+    while True:
+        capacity = sum(_comb(r, w) for w in range(3, r + 1, 2))
+        if capacity >= data_bits:
+            return r
+        r += 1
+
+
+# ----------------------------------------------------------------------
+# gate-level generators
+# ----------------------------------------------------------------------
+def build_encoder(m: Module, data: Vec, code: SecDedCode) -> Vec:
+    """XOR-tree check-bit generator; returns the r check bits."""
+    if len(data) != code.k:
+        raise ValueError("data width does not match code")
+    outs = []
+    for j in range(code.r):
+        taps = [data.nets[i] for i in range(code.k)
+                if (code.columns[i] >> j) & 1]
+        outs.append(Vec(m, taps).reduce_xor())
+    return m.cat(*outs)
+
+
+def build_syndrome(m: Module, data: Vec, check: Vec,
+                   code: SecDedCode) -> Vec:
+    """Syndrome = recomputed check XOR stored check."""
+    recomputed = build_encoder(m, data, code)
+    return recomputed ^ check
+
+
+def build_corrector(m: Module, data: Vec, synd: Vec,
+                    code: SecDedCode) -> tuple[Vec, Vec, Vec]:
+    """Correction network.
+
+    Returns ``(corrected_data, single_error, double_error)`` where
+    ``single_error`` covers corrected data/check-bit errors and
+    ``double_error`` is the DED alarm (even-weight non-zero syndrome or
+    unmatched odd syndrome).
+    """
+    flips = []
+    matched_any = m.const(0)
+    for i in range(code.k):
+        hit = equals_const(m, synd, code.columns[i])
+        flips.append(hit)
+        matched_any = matched_any | hit
+    corrected = data ^ m.cat(*flips)
+
+    synd_nonzero = synd.reduce_or()
+    synd_odd = synd.reduce_xor()
+    # single check-bit error: odd syndrome of weight 1 (a unit column)
+    unit_hit = m.const(0)
+    for j in range(code.r):
+        unit_hit = unit_hit | equals_const(m, synd, 1 << j)
+    single = matched_any | unit_hit
+    double = synd_nonzero & (~synd_odd | (synd_odd & ~single & ~unit_hit))
+    return corrected, single, double

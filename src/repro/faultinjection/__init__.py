@@ -1,0 +1,69 @@
+"""The §5 validation flow: profiler, fault lists, campaigns, analysis."""
+
+from .faults import (
+    ArmedFault,
+    BridgeFault,
+    Fault,
+    GlobalStuckFault,
+    MbuFault,
+    MemCouplingFault,
+    MemFlipFault,
+    MemStuckFault,
+    SetFault,
+    SeuFault,
+    StuckNetFault,
+)
+from .profiler import MemAccess, OperationalProfile, profile_workload
+from .faultlist import (
+    CandidateList,
+    FaultListConfig,
+    collapse,
+    generate_cone_faults,
+    generate_gate_faults,
+    generate_zone_faults,
+    randomize,
+)
+from .monitors import CoverageCollection
+from .manager import (
+    CampaignConfig,
+    CampaignResult,
+    FaultInjectionManager,
+    FaultResult,
+    OUTCOME_DD,
+    OUTCOME_DETECTED_SAFE,
+    OUTCOME_DU,
+    OUTCOME_SAFE,
+)
+from .analyzer import (
+    EffectComparison,
+    ResultAnalyzer,
+    ZoneMeasurement,
+)
+from .diagnosis import Candidate, FaultDictionary, signature_of
+from .environment import InjectionEnvironment, build_environment
+from .faultsim import FaultSimReport, simulate_faults
+from .validation import (
+    StepResult,
+    ValidationConfig,
+    ValidationReport,
+    run_validation,
+)
+
+__all__ = [
+    "ArmedFault", "BridgeFault", "Fault", "GlobalStuckFault",
+    "MbuFault", "MemCouplingFault", "MemFlipFault", "MemStuckFault", "SetFault",
+    "SeuFault", "StuckNetFault",
+    "MemAccess", "OperationalProfile", "profile_workload",
+    "CandidateList", "FaultListConfig", "collapse",
+    "generate_gate_faults", "generate_zone_faults", "randomize",
+    "CoverageCollection",
+    "CampaignConfig", "CampaignResult", "FaultInjectionManager",
+    "FaultResult", "OUTCOME_DD", "OUTCOME_DETECTED_SAFE", "OUTCOME_DU",
+    "OUTCOME_SAFE",
+    "EffectComparison", "ResultAnalyzer", "ZoneMeasurement",
+    "Candidate", "FaultDictionary", "signature_of",
+    "InjectionEnvironment", "build_environment",
+    "FaultSimReport", "simulate_faults",
+    "StepResult", "ValidationConfig", "ValidationReport",
+    "run_validation",
+]

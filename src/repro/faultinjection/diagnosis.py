@@ -1,0 +1,125 @@
+"""Fault dictionary: locating faults from their alarm signatures.
+
+§6's distributed syndrome checking exists "to allow a finer error
+detection (i.e. to discriminate if an error is in the code field, or in
+data field or if it was an addressing error)" — diagnosis, not just
+detection.  This module generalizes that: an injection campaign builds
+a dictionary mapping each fault to its *signature* (the set of
+observation points it perturbed, with relative latencies); at run time,
+an observed signature is looked up to produce ranked candidate zones.
+
+The classic use: a field return raises `alarm_pipe` + a data mismatch —
+the dictionary says which sensible zones produce exactly that picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .manager import CampaignResult
+
+
+def signature_of(effects: dict[str, int],
+                 with_latency: bool = False) -> tuple:
+    """Canonical signature of an effects table.
+
+    Default: the frozenset of perturbed observation points.  With
+    ``with_latency``: points paired with their latency order (finer,
+    but more sensitive to workload differences).
+    """
+    if with_latency:
+        ordered = sorted(effects.items(), key=lambda kv: (kv[1], kv[0]))
+        return tuple(name for name, _ in ordered)
+    return tuple(sorted(effects))
+
+
+@dataclass
+class Candidate:
+    """One diagnosis candidate."""
+
+    zone: str
+    matches: int
+    total: int
+
+    @property
+    def confidence(self) -> float:
+        return self.matches / self.total if self.total else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.zone} ({self.confidence * 100:.0f}%)"
+
+
+@dataclass
+class FaultDictionary:
+    """signature -> {zone: hit count} built from campaign results."""
+
+    with_latency: bool = False
+    table: dict[tuple, dict[str, int]] = field(default_factory=dict)
+    zone_faults: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, campaign: CampaignResult,
+              with_latency: bool = False) -> "FaultDictionary":
+        dictionary = cls(with_latency=with_latency)
+        for res in campaign.results:
+            zone = res.fault.zone
+            if zone is None or not res.effects:
+                continue
+            sig = signature_of(res.effects, with_latency)
+            bucket = dictionary.table.setdefault(sig, {})
+            bucket[zone] = bucket.get(zone, 0) + 1
+            dictionary.zone_faults[zone] = \
+                dictionary.zone_faults.get(zone, 0) + 1
+        return dictionary
+
+    # ------------------------------------------------------------------
+    def diagnose(self, effects: dict[str, int],
+                 top: int = 5) -> list[Candidate]:
+        """Ranked candidate zones for an observed effects picture.
+
+        Falls back to subset matching (observed ⊆ dictionary signature)
+        when the exact signature is unknown — a fault caught early may
+        show only a prefix of its full signature.
+        """
+        sig = signature_of(effects, self.with_latency)
+        bucket = self.table.get(sig)
+        if bucket is None:
+            observed = set(sig)
+            bucket = {}
+            for known_sig, zones in self.table.items():
+                if observed <= set(known_sig):
+                    for zone, hits in zones.items():
+                        bucket[zone] = bucket.get(zone, 0) + hits
+        total = sum(bucket.values())
+        candidates = [Candidate(zone=z, matches=n, total=total)
+                      for z, n in bucket.items()]
+        candidates.sort(key=lambda c: (-c.matches, c.zone))
+        return candidates[:top]
+
+    # ------------------------------------------------------------------
+    @property
+    def distinct_signatures(self) -> int:
+        return len(self.table)
+
+    def ambiguity(self) -> float:
+        """Average number of candidate zones per signature (1.0 =
+        perfect diagnosability)."""
+        if not self.table:
+            return 0.0
+        return sum(len(zones) for zones in self.table.values()) \
+            / len(self.table)
+
+    def resolution(self) -> float:
+        """Fraction of signatures pointing at a single zone."""
+        if not self.table:
+            return 0.0
+        unique = sum(1 for zones in self.table.values()
+                     if len(zones) == 1)
+        return unique / len(self.table)
+
+    def summary(self) -> str:
+        return (f"fault dictionary: {self.distinct_signatures} "
+                f"signatures over {len(self.zone_faults)} zones, "
+                f"resolution {self.resolution() * 100:.0f}%, "
+                f"ambiguity {self.ambiguity():.2f} zones/signature")

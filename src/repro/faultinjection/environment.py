@@ -1,0 +1,104 @@
+"""Environment Builder (paper §5, Figure 4).
+
+"this block extracts from the FMEA all the information related to the
+environment for the injection campaign and builds all the required
+environment configuration files."
+
+:class:`InjectionEnvironment` bundles everything a campaign needs —
+circuit, zones, FMEA worksheet, workload, observation points, simulator
+setup — and hands out configured profilers, fault lists and managers.
+"""
+
+from __future__ import annotations
+
+from ..fmea.worksheet import FmeaWorksheet
+from ..hdl.netlist import Circuit
+from ..zones.extractor import ZoneSet
+from .faultlist import (
+    CandidateList,
+    FaultListConfig,
+    generate_zone_faults,
+)
+from .manager import CampaignConfig, FaultInjectionManager
+from .profiler import OperationalProfile, profile_workload
+
+
+class InjectionEnvironment:
+    """A ready-to-run injection environment."""
+
+    def __init__(self, circuit: Circuit, zone_set: ZoneSet,
+                 worksheet: FmeaWorksheet, stimuli,
+                 workload_name="workload", setup=None,
+                 read_strobes=None, test_windows=()):
+        self.circuit = circuit
+        self.zone_set = zone_set
+        self.worksheet = worksheet
+        self.stimuli = list(stimuli)
+        self.workload_name = workload_name
+        self.setup = setup
+        self.read_strobes = read_strobes or {}
+        self.test_windows = tuple(test_windows)
+        self._profile = None
+
+    # ------------------------------------------------------------------
+    def profile(self) -> OperationalProfile:
+        """The (cached) operational profile of the workload."""
+        if self._profile is None:
+            self._profile = profile_workload(
+                self.circuit, self.stimuli, setup=self.setup,
+                read_strobes=self.read_strobes)
+        return self._profile
+
+    def candidates(self, config: FaultListConfig | None = None
+                   ) -> CandidateList:
+        return generate_zone_faults(self.zone_set, self.circuit,
+                                    profile=self.profile(),
+                                    config=config)
+
+    def manager(self, config: CampaignConfig | None = None
+                ) -> FaultInjectionManager:
+        config = config or CampaignConfig()
+        if not config.test_windows:
+            config.test_windows = self.test_windows
+        return FaultInjectionManager(
+            self.circuit, self.stimuli, zone_set=self.zone_set,
+            setup=self.setup, config=config)
+
+    # ------------------------------------------------------------------
+    def as_config_dict(self) -> dict:
+        """The 'environment configuration file' view of the setup."""
+        return {
+            "design": self.circuit.name,
+            "workload": self.workload_name,
+            "cycles": len(self.stimuli),
+            "zones": len(self.zone_set.zones),
+            "fmea_rows": len(self.worksheet),
+            "observation_points": [p.name for p in
+                                   self.zone_set.functional_points()],
+            "diagnostic_points": [p.name for p in
+                                  self.zone_set.diagnostic_points()],
+            "read_strobes": dict(self.read_strobes),
+        }
+
+
+def build_environment(subsystem, workload=None,
+                      zone_set: ZoneSet | None = None,
+                      worksheet: FmeaWorksheet | None = None,
+                      quick: bool = True) -> InjectionEnvironment:
+    """Wire an environment for a :class:`~repro.soc.MemorySubsystem`."""
+    from ..soc.workloads import validation_workload
+    if workload is None:
+        workload = validation_workload(subsystem, quick=quick)
+    if zone_set is None:
+        zone_set = subsystem.extract_zones()
+    if worksheet is None:
+        worksheet = subsystem.worksheet(zone_set)
+    return InjectionEnvironment(
+        circuit=subsystem.circuit,
+        zone_set=zone_set,
+        worksheet=worksheet,
+        stimuli=list(workload),
+        workload_name=workload.name,
+        setup=lambda sim: subsystem.preload(sim, {}),
+        read_strobes=subsystem.read_strobes(),
+        test_windows=workload.test_windows())

@@ -1,0 +1,210 @@
+"""Candidate fault lists, the Collapser and the Randomiser (§5).
+
+"this block extracts the Operational Profile (OP) from a given
+workload ... to ensure that only faults which will produce an error are
+selected during the fault list generation process.  In this way the
+generated fault list is compacted and non trivial."
+
+Generation walks the sensible zones and emits the faults realizing each
+zone's IEC failure modes; the collapser removes structural duplicates
+and zones the OP proves dead under the workload; the randomiser samples
+injection instants from the OP activity windows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..hdl.netlist import Circuit
+from ..zones.extractor import ZoneSet
+from ..zones.model import SensibleZone, ZoneKind
+from .faults import (
+    Fault,
+    MemFlipFault,
+    MemStuckFault,
+    SeuFault,
+    StuckNetFault,
+)
+from .profiler import OperationalProfile
+
+
+@dataclass
+class FaultListConfig:
+    """Sampling knobs for candidate generation."""
+
+    transient_per_zone: int = 2
+    permanent_per_zone: int = 2
+    mem_words_sampled: int = 2
+    seed: int = 2007
+    include_permanent: bool = True
+    include_transient: bool = True
+
+
+@dataclass
+class CandidateList:
+    """The generated fault population, grouped by zone."""
+
+    faults: list[Fault] = field(default_factory=list)
+    skipped_zones: list[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def by_zone(self) -> dict[str, list[Fault]]:
+        groups: dict[str, list[Fault]] = {}
+        for fault in self.faults:
+            groups.setdefault(fault.zone or "?", []).append(fault)
+        return groups
+
+
+def generate_zone_faults(zone_set: ZoneSet, circuit: Circuit,
+                         profile: OperationalProfile | None = None,
+                         config: FaultListConfig | None = None
+                         ) -> CandidateList:
+    """Exhaustive sensible-zone failure list (§5 validation step a).
+
+    Register zones get SEU flips (transient) and output stuck-ats
+    (permanent); memory zones get cell flips and stuck cells on words
+    the workload actually reads.  Zones the OP shows untriggered are
+    reported (they make SENS coverage < 100 %) and skipped.
+    """
+    config = config or FaultListConfig()
+    rng = random.Random(config.seed)
+    out = CandidateList()
+
+    for zone in zone_set.zones:
+        if zone.kind is ZoneKind.REGISTER:
+            _register_faults(zone, circuit, profile, config, rng, out)
+        elif zone.kind is ZoneKind.MEMORY:
+            _memory_faults(zone, profile, config, rng, out)
+    return collapse(out)
+
+
+def _register_faults(zone: SensibleZone, circuit: Circuit, profile,
+                     config: FaultListConfig, rng: random.Random,
+                     out: CandidateList) -> None:
+    if profile is not None and not profile.zone_triggered(zone):
+        out.skipped_zones.append(zone.name)
+        return
+    flops = list(zone.flops)
+    if config.include_transient:
+        cycles = profile.injection_cycles(zone, rng,
+                                          config.transient_per_zone) \
+            if profile is not None else [0] * config.transient_per_zone
+        for cycle in cycles:
+            out.faults.append(SeuFault(target=rng.choice(flops),
+                                       zone=zone.name, offset=cycle))
+    if config.include_permanent:
+        by_name = {f.name: f for f in circuit.flops}
+        for _ in range(config.permanent_per_zone):
+            flop = by_name[rng.choice(flops)]
+            out.faults.append(StuckNetFault(
+                target=circuit.net_names[flop.q], zone=zone.name,
+                value=rng.getrandbits(1)))
+
+
+def _memory_faults(zone: SensibleZone, profile,
+                   config: FaultListConfig, rng: random.Random,
+                   out: CandidateList) -> None:
+    lo, hi = zone.mem_words or (0, 0)
+    width = zone.size_bits // max(1, hi - lo + 1)
+    if profile is not None:
+        reads = profile.reads_in_region(zone.memory, lo, hi)
+        if not reads:
+            out.skipped_zones.append(zone.name)
+            return
+    else:
+        reads = None
+
+    for _ in range(config.mem_words_sampled):
+        if reads:
+            access = rng.choice(reads)
+            word, cycle = access.addr, access.cycle
+        else:
+            word, cycle = rng.randint(lo, hi), 0
+        bit = rng.randrange(width)
+        if config.include_transient:
+            out.faults.append(MemFlipFault(
+                target=zone.memory, zone=zone.name, word=word, bit=bit,
+                offset=cycle))
+        if config.include_permanent:
+            out.faults.append(MemStuckFault(
+                target=zone.memory, zone=zone.name, word=word,
+                bit=rng.randrange(width), value=rng.getrandbits(1)))
+
+
+def generate_gate_faults(circuit: Circuit, paths: tuple[str, ...] = (),
+                         zone_of=None) -> CandidateList:
+    """Gate-level stuck-at fault universe (both polarities).
+
+    ``paths`` restricts to instance-path prefixes (§5 step c injects
+    local faults only in critical areas); buffers and constants are
+    skipped (collapsed onto their driver / meaningless).
+    """
+    out = CandidateList()
+    for gate in circuit.gates:
+        if gate.op_name in ("buf", "const0", "const1"):
+            continue
+        if paths and not any(gate.path.startswith(p) for p in paths):
+            continue
+        net_name = circuit.net_names[gate.out]
+        zone = zone_of(gate) if zone_of is not None else None
+        for value in (0, 1):
+            out.faults.append(StuckNetFault(target=net_name, zone=zone,
+                                            value=value))
+    return collapse(out)
+
+
+def generate_cone_faults(zone_set: ZoneSet, circuit: Circuit,
+                         zones: list[str], per_zone: int | None = None,
+                         seed: int = 31) -> CandidateList:
+    """Local stuck-at faults inside the logic cones of given zones.
+
+    This is §5 step c: "for critical areas ... a selective HW fault
+    injection is performed, injecting local faults with fault
+    injector."  Faults are attributed to the zone whose cone they sit
+    in, so results can be cross-checked against the zone-level numbers.
+    """
+    rng = random.Random(seed)
+    out = CandidateList()
+    skip_ops = ("buf", "const0", "const1")
+    for zone_name in zones:
+        cone = zone_set.cones.get(zone_name)
+        if cone is None:
+            continue
+        gates = [gi for gi in sorted(cone.gates)
+                 if circuit.gates[gi].op_name not in skip_ops]
+        if per_zone is not None and len(gates) > per_zone:
+            gates = rng.sample(gates, per_zone)
+        for gi in gates:
+            net_name = circuit.net_names[circuit.gates[gi].out]
+            out.faults.append(StuckNetFault(
+                target=net_name, zone=zone_name,
+                value=rng.getrandbits(1)))
+    return collapse(out)
+
+
+def collapse(candidates: CandidateList) -> CandidateList:
+    """Structural collapsing: drop duplicate (kind, target, params)."""
+    seen: set[str] = set()
+    unique: list[Fault] = []
+    for fault in candidates.faults:
+        key = fault.name + f"@{getattr(fault, 'offset', '')}"
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(fault)
+    return CandidateList(faults=unique,
+                         skipped_zones=candidates.skipped_zones)
+
+
+def randomize(candidates: CandidateList, sample: int,
+              seed: int = 77) -> CandidateList:
+    """Random down-sampling of a (collapsed) fault list."""
+    if sample >= len(candidates.faults):
+        return candidates
+    rng = random.Random(seed)
+    picked = rng.sample(candidates.faults, sample)
+    return CandidateList(faults=picked,
+                         skipped_zones=candidates.skipped_zones)

@@ -1,0 +1,96 @@
+"""Stuck-at fault simulator (paper §5, ref [11]).
+
+"for critical areas ... the fault simulator can be used to precisely
+measure the fault coverage vs permanent faults respect the workload and
+the implemented diagnostic" — and step (b) alternatively accepts "a
+standard fault coverage" as the workload-completeness measure.
+
+A fault is *detected* when any functional output or diagnostic alarm of
+the faulty machine deviates from the golden machine at any cycle of the
+workload.  The engine packs up to N faults per simulator pass using the
+bit-parallel machines.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..hdl.netlist import Circuit
+from ..hdl.simulator import Simulator
+from .faultlist import CandidateList, generate_gate_faults
+
+
+@dataclass
+class FaultSimReport:
+    """Outcome of a stuck-at fault-simulation run."""
+
+    total: int
+    detected: int
+    undetected_names: list[str] = field(default_factory=list)
+    cycles: int = 0
+    passes: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def coverage(self) -> float:
+        return self.detected / self.total if self.total else 1.0
+
+    def summary(self) -> str:
+        return (f"fault coverage {self.coverage * 100:.2f}% "
+                f"({self.detected}/{self.total} stuck-at faults, "
+                f"{self.passes} passes, {self.cycles} cycles/pass)")
+
+
+def simulate_faults(circuit: Circuit, stimuli,
+                    candidates: CandidateList | None = None,
+                    observe: list[str] | None = None,
+                    setup=None, machines_per_pass: int = 48,
+                    max_cycles: int | None = None) -> FaultSimReport:
+    """Measure detected fraction of a stuck-at fault list.
+
+    ``observe`` lists output port names to compare (default: all
+    primary outputs — functional and alarms alike, matching the "with
+    the implemented diagnostic" reading).
+    """
+    if candidates is None:
+        candidates = generate_gate_faults(circuit)
+    if observe is None:
+        observe = list(circuit.outputs)
+    observe_nets: list[int] = []
+    for name in observe:
+        observe_nets.extend(circuit.outputs[name])
+
+    stimuli = list(stimuli)
+    if max_cycles is not None:
+        stimuli = stimuli[:max_cycles]
+
+    start = time.time()
+    report = FaultSimReport(total=len(candidates.faults), detected=0,
+                            cycles=len(stimuli))
+    faults = list(candidates.faults)
+    for lo in range(0, len(faults), machines_per_pass):
+        batch = faults[lo:lo + machines_per_pass]
+        sim = Simulator(circuit, machines=len(batch) + 1)
+        if setup is not None:
+            setup(sim)
+        for k, fault in enumerate(batch, start=1):
+            fault.arm(sim, machine=k, t0=0)
+
+        detected_mask = 0
+        all_mask = (1 << (len(batch) + 1)) - 2
+        for inputs in stimuli:
+            sim.step_eval(inputs)
+            detected_mask |= sim.mismatch_mask(observe_nets)
+            sim.step_commit()
+            if detected_mask == all_mask:
+                break
+
+        for k, fault in enumerate(batch, start=1):
+            if detected_mask >> k & 1:
+                report.detected += 1
+            else:
+                report.undetected_names.append(fault.name)
+        report.passes += 1
+    report.wall_seconds = time.time() - start
+    return report

@@ -1,0 +1,328 @@
+"""Fault Injection Manager (paper §5, Figure 4).
+
+"this function runs all the injection campaign based on automatically
+generated fault lists and collects all the results."
+
+The manager packs faults onto the parallel machines of the bit-parallel
+simulator (machine 0 stays golden), replays the workload once per pass,
+and records for every fault:
+
+* **SENS** — the first cycle its zone's state deviated from golden;
+* **OBSE** — the first cycle a functional observation point deviated,
+  plus the per-point effects table (for main/secondary validation);
+* **DIAG** — the first cycle a diagnostic alarm asserted in the faulty
+  machine while the golden machine was quiet.
+
+Outcomes are then classified into the IEC classes: safe, detected-safe
+(alarm without corruption), dangerous-detected (corruption with a
+timely alarm) and dangerous-undetected.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..hdl.netlist import Circuit
+from ..hdl.simulator import Simulator
+from ..zones.extractor import ZoneSet
+from ..zones.model import ObservationPoint, SensibleZone, ZoneKind
+from .faultlist import CandidateList
+from .faults import Fault
+from .monitors import CoverageCollection
+
+OUTCOME_SAFE = "safe"
+OUTCOME_DETECTED_SAFE = "detected_safe"
+OUTCOME_DD = "dangerous_detected"
+OUTCOME_DU = "dangerous_undetected"
+
+
+@dataclass
+class CampaignConfig:
+    machines_per_pass: int = 48    # faulty machines per simulator pass
+    detection_window: int = 12     # cycles an alarm may trail corruption
+    max_cycles: int | None = None  # optionally trim the workload
+    collect_toggles: bool = False  # any-machine toggles (step b credit)
+    #: cycle ranges of software/hardware test phases: a mismatch
+    #: observed inside one counts as detected (the test's compare step
+    #: flags it) — the detection model of the SW start-up test claims
+    test_windows: tuple[tuple[int, int], ...] = ()
+
+
+@dataclass
+class FaultResult:
+    """Everything measured for one injected fault."""
+
+    fault: Fault
+    sens_cycle: int | None = None
+    obse_cycle: int | None = None
+    diag_cycle: int | None = None
+    first_alarm: str | None = None
+    effects: dict[str, int] = field(default_factory=dict)
+
+    def outcome(self, window: int,
+                test_windows: tuple[tuple[int, int], ...] = ()) -> str:
+        if self.obse_cycle is None:
+            return OUTCOME_DETECTED_SAFE if self.diag_cycle is not None \
+                else OUTCOME_SAFE
+        if self.diag_cycle is not None and \
+                self.diag_cycle <= self.obse_cycle + window:
+            return OUTCOME_DD
+        for lo, hi in test_windows:
+            if lo <= self.obse_cycle < hi:
+                return OUTCOME_DD   # the test's compare flags it
+        return OUTCOME_DU
+
+
+@dataclass
+class CampaignResult:
+    """All fault results plus coverage and bookkeeping."""
+
+    results: list[FaultResult] = field(default_factory=list)
+    coverage: CoverageCollection = field(
+        default_factory=CoverageCollection)
+    window: int = 12
+    test_windows: tuple[tuple[int, int], ...] = ()
+    passes: int = 0
+    cycles_simulated: int = 0
+    wall_seconds: float = 0.0
+    seen0: bytearray | None = None
+    seen1: bytearray | None = None
+
+    def toggled_nets(self) -> set[int]:
+        """Nets seen at both values in any machine of any pass."""
+        if self.seen0 is None or self.seen1 is None:
+            return set()
+        return {net for net in range(len(self.seen0))
+                if self.seen0[net] and self.seen1[net]}
+
+    def outcome_of(self, res: FaultResult) -> str:
+        return res.outcome(self.window, self.test_windows)
+
+    def outcomes(self) -> dict[str, int]:
+        counts = {OUTCOME_SAFE: 0, OUTCOME_DETECTED_SAFE: 0,
+                  OUTCOME_DD: 0, OUTCOME_DU: 0}
+        for res in self.results:
+            counts[self.outcome_of(res)] += 1
+        return counts
+
+    def by_zone(self) -> dict[str, list[FaultResult]]:
+        groups: dict[str, list[FaultResult]] = {}
+        for res in self.results:
+            groups.setdefault(res.fault.zone or "?", []).append(res)
+        return groups
+
+    def measured_dc(self) -> float:
+        """Campaign-wide diagnostic coverage of dangerous failures."""
+        counts = self.outcomes()
+        dangerous = counts[OUTCOME_DD] + counts[OUTCOME_DU]
+        return counts[OUTCOME_DD] / dangerous if dangerous else 1.0
+
+    def measured_safe_fraction(self) -> float:
+        counts = self.outcomes()
+        total = len(self.results)
+        safe = counts[OUTCOME_SAFE] + counts[OUTCOME_DETECTED_SAFE]
+        return safe / total if total else 1.0
+
+
+class FaultInjectionManager:
+    """Runs campaigns for one circuit + workload + observation set."""
+
+    def __init__(self, circuit: Circuit, stimuli,
+                 zone_set: ZoneSet | None = None,
+                 observation_points: list[ObservationPoint] | None = None,
+                 setup=None, config: CampaignConfig | None = None):
+        self.circuit = circuit
+        self.stimuli = list(stimuli)
+        self.setup = setup
+        self.config = config or CampaignConfig()
+        if observation_points is None:
+            if zone_set is None:
+                raise ValueError("need zone_set or observation_points")
+            observation_points = zone_set.observation_points
+        from ..zones.model import ObservationKind
+        self.functional = [p for p in observation_points
+                           if p.kind is ObservationKind.OUTPUT]
+        self.status = [p for p in observation_points
+                       if p.kind is ObservationKind.FUNCTION]
+        self.diagnostic = [p for p in observation_points
+                           if p.is_diagnostic]
+        self.zone_set = zone_set
+        self._zones_by_name: dict[str, SensibleZone] = {}
+        if zone_set is not None:
+            self._zones_by_name = {z.name: z for z in zone_set.zones}
+        self._flop_index = {f.name: i
+                            for i, f in enumerate(circuit.flops)}
+
+    # ------------------------------------------------------------------
+    def run(self, candidates: CandidateList) -> CampaignResult:
+        cfg = self.config
+        start = time.time()
+        result = CampaignResult(window=cfg.detection_window,
+                                test_windows=tuple(cfg.test_windows))
+        self._init_coverage(result.coverage, candidates)
+
+        faults = list(candidates.faults)
+        per_pass = max(1, cfg.machines_per_pass)
+        for lo in range(0, len(faults), per_pass):
+            batch = faults[lo:lo + per_pass]
+            self._run_pass(batch, result)
+            result.passes += 1
+
+        result.coverage.injections = len(result.results)
+        for res in result.results:
+            if res.sens_cycle is not None and res.fault.zone:
+                result.coverage.sens[res.fault.zone] = True
+            if res.obse_cycle is not None:
+                result.coverage.mismatches += 1
+            for point in res.effects:
+                if point in result.coverage.obse:
+                    result.coverage.obse[point] = True
+                if point in result.coverage.diag:
+                    result.coverage.diag[point] = True
+        result.wall_seconds = time.time() - start
+        return result
+
+    def _init_coverage(self, cov: CoverageCollection,
+                       candidates: CandidateList) -> None:
+        # SENS completeness items are the injectable state zones; wide
+        # faults attributed to structural (sub-block / net) zones are
+        # tracked in the results but carry no 100 %-SENS obligation.
+        for fault in candidates.faults:
+            if not fault.zone:
+                continue
+            zone = self._zones_by_name.get(fault.zone)
+            if zone is not None and zone.kind not in (
+                    ZoneKind.REGISTER, ZoneKind.MEMORY):
+                continue
+            cov.sens.setdefault(fault.zone, False)
+        for point in self.functional:
+            cov.obse.setdefault(point.name, False)
+        for point in self.diagnostic:
+            cov.diag.setdefault(point.name, False)
+
+    # ------------------------------------------------------------------
+    def _run_pass(self, batch: list[Fault],
+                  result: CampaignResult) -> None:
+        machines = len(batch) + 1
+        sim = Simulator(self.circuit, machines=machines,
+                        collect_toggles=self.config.collect_toggles,
+                        toggle_any_machine=True)
+        if self.setup is not None:
+            self.setup(sim)
+
+        results = [FaultResult(fault=f) for f in batch]
+        for k, fault in enumerate(batch, start=1):
+            fault.arm(sim, machine=k, t0=0)
+
+        # group SENS probes (one state compare per distinct probe/cycle);
+        # memory probes are per-word, register probes per-zone
+        probe_members: dict[tuple, list[int]] = {}
+        for idx, fault in enumerate(batch):
+            zone = self._zones_by_name.get(fault.zone or "")
+            if zone is None:
+                continue
+            probe = self._zone_probe(zone, fault)
+            if probe is None:
+                continue
+            probe_members.setdefault(probe, []).append(idx)
+
+        func_nets = {p.name: list(p.nets) for p in self.functional}
+        status_nets = {p.name: list(p.nets) for p in self.status}
+        diag_nets = {p.name: list(p.nets) for p in self.diagnostic}
+        full = sim.full_mask
+
+        stimuli = self.stimuli
+        if self.config.max_cycles is not None:
+            stimuli = stimuli[:self.config.max_cycles]
+
+        golden_prev: dict[str, int] = {}
+        for cycle, inputs in enumerate(stimuli):
+            sim.step_eval(inputs)
+
+            for name, nets in func_nets.items():
+                mask = sim.mismatch_mask(nets)
+                if mask:
+                    for idx, res in enumerate(results):
+                        if mask >> (idx + 1) & 1:
+                            res.effects.setdefault(name, cycle)
+                            if res.obse_cycle is None:
+                                res.obse_cycle = cycle
+                # golden activity covers the OBSE item by itself
+                value = sim.value_of(nets)
+                if name in golden_prev and golden_prev[name] != value:
+                    result.coverage.obse[name] = True
+                golden_prev[name] = value
+
+            for name, nets in status_nets.items():
+                # status points: recorded in the effects table only
+                mask = sim.mismatch_mask(nets)
+                if mask:
+                    for idx, res in enumerate(results):
+                        if mask >> (idx + 1) & 1:
+                            res.effects.setdefault(name, cycle)
+
+            for name, nets in diag_nets.items():
+                raised = 0
+                golden_raised = False
+                for net in nets:
+                    v = sim.peek(net)
+                    golden = full if v & 1 else 0
+                    golden_raised = golden_raised or bool(v & 1)
+                    raised |= v & ~golden
+                if golden_raised:
+                    # the workload itself exercises the diagnostic
+                    result.coverage.diag[name] = True
+                if raised:
+                    for idx, res in enumerate(results):
+                        if raised >> (idx + 1) & 1:
+                            res.effects.setdefault(name, cycle)
+                            if res.diag_cycle is None:
+                                res.diag_cycle = cycle
+                                res.first_alarm = name
+
+            # SENS: sample zone state while the injected deviation is
+            # still live (a flipped flop may be overwritten at the edge)
+            for probe, members in probe_members.items():
+                mask = self._probe_mismatch(sim, probe)
+                if mask:
+                    for idx in members:
+                        if mask >> (idx + 1) & 1 and \
+                                results[idx].sens_cycle is None:
+                            results[idx].sens_cycle = cycle
+
+            sim.step_commit()
+            result.cycles_simulated += 1
+
+        if self.config.collect_toggles:
+            if result.seen0 is None:
+                result.seen0 = bytearray(self.circuit.num_nets)
+                result.seen1 = bytearray(self.circuit.num_nets)
+            for net in range(self.circuit.num_nets):
+                if sim._seen0[net]:
+                    result.seen0[net] = 1
+                if sim._seen1[net]:
+                    result.seen1[net] = 1
+
+        result.results.extend(results)
+
+    # ------------------------------------------------------------------
+    def _zone_probe(self, zone: SensibleZone, fault: Fault):
+        if zone.kind is ZoneKind.REGISTER:
+            idxs = tuple(self._flop_index[name] for name in zone.flops
+                         if name in self._flop_index)
+            return ("flops", idxs)
+        if zone.kind is ZoneKind.MEMORY:
+            word = getattr(fault, "word", None)
+            if word is None:
+                return None
+            return ("mem", zone.memory, word)
+        return ("nets", tuple(zone.nets))
+
+    @staticmethod
+    def _probe_mismatch(sim: Simulator, probe) -> int:
+        if probe[0] == "flops":
+            return sim.flop_state_mismatch(probe[1])
+        if probe[0] == "mem":
+            return sim.mem_word_mismatch(probe[1], probe[2])
+        return sim.mismatch_mask(probe[1])

@@ -1,0 +1,150 @@
+"""Operational Profiler (paper §5, Figure 4).
+
+"An Operational Profile (OP) is a collection of information about all
+relevant fault-free system activities: traced information items are
+read/write activity associated with processor registers, address bus,
+data bus, and memory locations in the system under test ...  The
+purpose of the OP is to better understand the situation in which the
+system or the application will be used, and then analyze this
+information to ensure that only faults which will produce an error are
+selected during the fault list generation process."
+
+The profiler replays the workload on a fault-free simulator and records
+per-cycle flip-flop toggles and memory-port traffic; fault-list
+generation then places transient injections in cycles where the target
+zone actually holds live data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..hdl.netlist import Circuit
+from ..hdl.simulator import Simulator
+from ..zones.extractor import ZoneSet
+from ..zones.model import SensibleZone, ZoneKind
+
+
+@dataclass
+class MemAccess:
+    cycle: int
+    addr: int
+    write: bool
+
+
+@dataclass
+class OperationalProfile:
+    """The recorded fault-free activity of one workload."""
+
+    length: int
+    flop_toggles: dict[str, list[int]] = field(default_factory=dict)
+    mem_accesses: dict[str, list[MemAccess]] = field(default_factory=dict)
+    output_toggles: dict[str, list[int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def zone_activity(self, zone: SensibleZone) -> list[int]:
+        """Cycles in which the zone's state was (re)written or read."""
+        if zone.kind is ZoneKind.REGISTER:
+            cycles: set[int] = set()
+            for flop in zone.flops:
+                cycles.update(self.flop_toggles.get(flop, ()))
+            return sorted(cycles)
+        if zone.kind is ZoneKind.MEMORY and zone.memory is not None:
+            lo, hi = zone.mem_words or (0, 1 << 30)
+            return sorted({a.cycle for a in
+                           self.mem_accesses.get(zone.memory, ())
+                           if lo <= a.addr <= hi})
+        return []
+
+    def zone_triggered(self, zone: SensibleZone) -> bool:
+        """Can the workload exercise this zone at all?"""
+        if zone.kind in (ZoneKind.REGISTER, ZoneKind.MEMORY):
+            return bool(self.zone_activity(zone))
+        return True  # nets/ports are structurally always exercised
+
+    def reads_in_region(self, mem: str, lo: int,
+                        hi: int) -> list[MemAccess]:
+        return [a for a in self.mem_accesses.get(mem, ())
+                if not a.write and lo <= a.addr <= hi]
+
+    # ------------------------------------------------------------------
+    def injection_cycles(self, zone: SensibleZone, rng: random.Random,
+                         count: int) -> list[int]:
+        """OP-guided injection instants for transient faults.
+
+        Register zones: just after a live write (the corrupted value is
+        resident).  Memory zones: the cycle of a read request (the flip
+        lands before the array output latches).  Fallback: uniform over
+        the run.
+        """
+        activity = self.zone_activity(zone)
+        if zone.kind is ZoneKind.REGISTER and activity:
+            pool = [min(c + 1, self.length - 1) for c in activity]
+        elif zone.kind is ZoneKind.MEMORY and zone.memory is not None:
+            reads = self.reads_in_region(zone.memory,
+                                         *(zone.mem_words or (0, 1 << 30)))
+            pool = [a.cycle for a in reads]
+        else:
+            pool = []
+        if not pool:
+            pool = list(range(2, max(3, self.length - 2)))
+        return [rng.choice(pool) for _ in range(count)]
+
+    def completeness(self, zone_set: ZoneSet) -> tuple[int, int]:
+        """(triggerable zones, total injectable zones) for SENS items."""
+        injectable = [z for z in zone_set.zones
+                      if z.kind in (ZoneKind.REGISTER, ZoneKind.MEMORY)]
+        triggered = sum(1 for z in injectable if self.zone_triggered(z))
+        return triggered, len(injectable)
+
+
+def profile_workload(circuit: Circuit, stimuli, setup=None,
+                     read_strobes: dict[str, str] | None = None
+                     ) -> OperationalProfile:
+    """Replay ``stimuli`` fault-free and record the OP.
+
+    ``read_strobes`` maps memory names to a 1-bit net asserting "the
+    array is actively read this cycle" (e.g. the subsystem's
+    ``memctrl/port/read_any``); without it every non-write cycle is
+    conservatively treated as a potential read.
+    """
+    sim = Simulator(circuit, machines=1)
+    if setup is not None:
+        setup(sim)
+
+    strobe_nets = {}
+    for mem_name, net_name in (read_strobes or {}).items():
+        strobe_nets[mem_name] = circuit.find_net(net_name)
+
+    profile = OperationalProfile(length=len(stimuli))
+    prev_flops = {f.name: None for f in circuit.flops}
+    prev_outs = {name: None for name in circuit.outputs}
+
+    for cycle, inputs in enumerate(stimuli):
+        sim.step_eval(inputs)
+        # memory port traffic (during evaluation, pre-edge)
+        for mem in circuit.memories:
+            addr = sim.value_of(mem.addr)
+            write = bool(sim.peek_bit(mem.we))
+            strobe = strobe_nets.get(mem.name)
+            reading = bool(sim.peek_bit(strobe)) if strobe is not None \
+                else not write
+            if write or reading:
+                profile.mem_accesses.setdefault(mem.name, []).append(
+                    MemAccess(cycle=cycle, addr=addr, write=write))
+        for name, nets in circuit.outputs.items():
+            value = sim.value_of(nets)
+            if prev_outs[name] is not None and value != prev_outs[name]:
+                profile.output_toggles.setdefault(name, []).append(cycle)
+            prev_outs[name] = value
+        sim.step_commit()
+        # flop toggles become visible in the committed state
+        for i, flop in enumerate(circuit.flops):
+            bit = sim._flop_state[i] & 1
+            if prev_flops[flop.name] is not None and \
+                    bit != prev_flops[flop.name]:
+                profile.flop_toggles.setdefault(flop.name, []).append(
+                    cycle)
+            prev_flops[flop.name] = bit
+    return profile

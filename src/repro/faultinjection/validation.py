@@ -1,0 +1,431 @@
+"""The four-step FMEA validation procedure (paper §5).
+
+a) exhaustive fault injection of sensible-zone failures, cross-checked
+   against the FMEA (measured S/DDF and the effects table) with
+   SENS/OBSE/DIAG coverage collection;
+b) workload-completeness measurement (toggle coverage >= 99 % by
+   default, or a standard fault coverage);
+c) selective local HW fault injection in the critical areas, plus
+   fault simulation of permanent faults against the claimed DDF;
+d) selective wide/global HW fault injection, checked for consistency
+   with the zone-level analysis (no unexplained new effects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..fmea.ranking import rank_zones
+from ..hdl.coverage import ToggleReport, measure_toggle_coverage
+from ..zones.effects import predict_effects_table
+from ..zones.model import ZoneKind
+from .analyzer import ResultAnalyzer
+from .environment import InjectionEnvironment, build_environment
+from .faultlist import (
+    CandidateList,
+    FaultListConfig,
+    generate_cone_faults,
+)
+from .faults import BridgeFault, GlobalStuckFault
+from .faultsim import simulate_faults
+from .manager import CampaignConfig, CampaignResult
+from .monitors import CoverageCollection
+
+
+@dataclass
+class ValidationConfig:
+    """Tolerances and effort knobs of the validation flow."""
+
+    quick: bool = True
+    ddf_tolerance: float = 0.35
+    aggregate_dc_tolerance: float = 0.25
+    toggle_threshold: float = 0.99
+    critical_areas: int = 3
+    cone_faults_per_zone: int = 24
+    wide_fault_pairs: int = 4
+    global_faults: int = 2
+    transient_per_zone: int = 2
+    permanent_per_zone: int = 2
+    campaign: CampaignConfig = field(default_factory=CampaignConfig)
+    seed: int = 2007
+
+
+@dataclass
+class StepResult:
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return (f"step {self.name}: "
+                f"{'PASS' if self.passed else 'FAIL'} — {self.detail}")
+
+
+@dataclass
+class ValidationReport:
+    """Evidence bundle produced by the flow (attached to the SRS)."""
+
+    steps: list[StepResult] = field(default_factory=list)
+    campaign: CampaignResult | None = None
+    toggle: ToggleReport | None = None
+    local_campaign: CampaignResult | None = None
+    wide_campaign: CampaignResult | None = None
+    topup_campaign: CampaignResult | None = None
+    fault_coverage: float | None = None
+    coverage: CoverageCollection | None = None
+
+    @property
+    def passed(self) -> bool:
+        return all(step.passed for step in self.steps)
+
+    @property
+    def failures(self) -> list[str]:
+        return [str(s) for s in self.steps if not s.passed]
+
+    def summary(self) -> str:
+        lines = ["=== FMEA validation flow ==="]
+        lines.extend(str(s) for s in self.steps)
+        lines.append(f"overall: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def run_validation(subsystem, env: InjectionEnvironment | None = None,
+                   config: ValidationConfig | None = None
+                   ) -> ValidationReport:
+    """Run steps a) - d) on a memory subsystem."""
+    config = config or ValidationConfig()
+    if env is None:
+        env = build_environment(subsystem, quick=config.quick)
+    report = ValidationReport()
+
+    # campaigns first (a, c, d + coverage top-up), then the workload-
+    # completeness measurement (b) which credits diagnostic-only nets
+    # with the toggles observed across all faulty machines
+    config.campaign.collect_toggles = True
+    _step_a(env, config, report)
+    _step_c(subsystem, env, config, report)
+    _step_d(subsystem, env, config, report)
+    _step_coverage(config, report, env)
+    _step_b(subsystem, env, config, report)
+    report.steps.sort(key=lambda s: s.name)
+    return report
+
+
+# ----------------------------------------------------------------------
+def _step_a(env: InjectionEnvironment, config: ValidationConfig,
+            report: ValidationReport) -> None:
+    """Exhaustive sensible-zone injection + FMEA cross-check."""
+    fl_config = FaultListConfig(
+        transient_per_zone=config.transient_per_zone,
+        permanent_per_zone=config.permanent_per_zone,
+        seed=config.seed)
+    candidates = env.candidates(fl_config)
+    campaign = env.manager(config.campaign).run(candidates)
+    report.campaign = campaign
+
+    analyzer = ResultAnalyzer(campaign)
+    analyzer.fill_worksheet(env.worksheet)
+
+    # aggregate agreement: campaign DC vs worksheet claimed DC
+    claimed_dc = env.worksheet.totals().dc
+    measured_dc = campaign.measured_dc()
+    dc_ok = measured_dc >= claimed_dc - config.aggregate_dc_tolerance
+
+    # per-zone agreement (overclaims beyond tolerance fail)
+    rows = analyzer.agreement_rows(env.worksheet, config.ddf_tolerance)
+    bad = [r for r in rows if not r["agrees"]]
+    zone_ok = not bad
+
+    # effects-table consistency with the structural prediction
+    predicted = predict_effects_table(env.zone_set)
+    effects = analyzer.compare_effects(predicted)
+
+    detail = (f"{len(campaign.results)} injections, "
+              f"measured DC {measured_dc * 100:.1f}% vs claimed "
+              f"{claimed_dc * 100:.1f}%, "
+              f"{len(bad)} zone mismatches, {effects.summary()}")
+    report.steps.append(StepResult("a:zone-injection",
+                                   dc_ok and zone_ok
+                                   and effects.consistent, detail))
+
+
+def _step_b(subsystem, env: InjectionEnvironment,
+            config: ValidationConfig, report: ValidationReport) -> None:
+    """Workload completeness: toggle coverage of the full workload.
+
+    The requirement is split: *functional* nets must toggle under the
+    fault-free workload; *diagnostic-only* nets (checker-disagreement
+    logic that is structurally silent without a fault — see
+    :func:`repro.zones.effects.diagnostic_only_nets`) are credited
+    when they toggled in any faulty machine of the step-a campaign.
+    """
+    from ..hdl.netlist import OP_CONST0, OP_CONST1
+    from ..hdl.simulator import Simulator
+    from ..soc.workloads import validation_workload
+    from ..zones.effects import diagnostic_only_nets
+    from .profiler import profile_workload
+
+    circuit = subsystem.circuit
+    full = validation_workload(subsystem, quick=False)
+    sim = Simulator(circuit, machines=1, collect_toggles=True)
+    subsystem.preload(sim, {})
+    for inputs in full:
+        sim.step(inputs)
+
+    diag_only = diagnostic_only_nets(
+        circuit, env.zone_set.observation_points)
+    const_nets = {g.out for g in circuit.gates
+                  if g.op in (OP_CONST0, OP_CONST1)}
+    campaign_toggled: set[int] = set()
+    for campaign in (report.campaign, report.local_campaign,
+                     report.wide_campaign, report.topup_campaign):
+        if campaign is not None:
+            campaign_toggled |= campaign.toggled_nets()
+
+    func_total = func_hit = diag_total = diag_hit = 0
+    func_untoggled: list[str] = []
+    for net in range(circuit.num_nets):
+        if net in const_nets:
+            continue
+        golden = sim._seen0[net] and sim._seen1[net]
+        if net in diag_only:
+            diag_total += 1
+            if golden or net in campaign_toggled:
+                diag_hit += 1
+        else:
+            func_total += 1
+            if golden:
+                func_hit += 1
+            else:
+                func_untoggled.append(circuit.net_names[net])
+
+    toggle = ToggleReport(toggled=func_hit, total=func_total,
+                          untoggled=func_untoggled,
+                          threshold=config.toggle_threshold)
+    report.toggle = toggle
+    diag_cov = diag_hit / diag_total if diag_total else 1.0
+    passed = toggle.passed and diag_cov >= config.toggle_threshold
+    detail = (f"functional {toggle.summary()}; diagnostic-only nets "
+              f"{diag_cov * 100:.2f}% ({diag_hit}/{diag_total}, "
+              f"golden + injection credit)")
+    report.steps.append(StepResult("b:workload-completeness", passed,
+                                   detail))
+
+    # the full workload's golden output activity also counts toward
+    # OBSE/DIAG completeness (the monitors fire on these changes)
+    if report.campaign is not None:
+        profile = profile_workload(
+            circuit, full,
+            setup=lambda s: subsystem.preload(s, {}),
+            read_strobes=subsystem.read_strobes())
+        report.campaign.coverage.mark_golden_activity(
+            profile.output_toggles)
+
+
+def _step_c(subsystem, env: InjectionEnvironment,
+            config: ValidationConfig, report: ValidationReport) -> None:
+    """Selective local gate-level injection in the critical areas."""
+    ranking = rank_zones(env.worksheet)
+    paths: list[str] = []
+    zones_in_areas: list[str] = []
+    for row in ranking:
+        try:
+            zone = env.zone_set.by_name(row.zone)
+        except KeyError:
+            continue
+        if zone.kind is not ZoneKind.REGISTER or not zone.path:
+            continue
+        if zone.path not in paths:
+            paths.append(zone.path)
+        zones_in_areas.append(zone.name)
+        if len(paths) >= config.critical_areas:
+            break
+    if not paths:
+        report.steps.append(StepResult(
+            "c:local-faults", True, "no register areas to inspect"))
+        return
+
+    gate_faults = generate_cone_faults(
+        env.zone_set, env.circuit, zones_in_areas,
+        per_zone=config.cone_faults_per_zone, seed=config.seed)
+    local = env.manager(config.campaign).run(gate_faults)
+    report.local_campaign = local
+
+    # consistency: gate-level DC in the critical areas vs zone-level DC
+    # (meaningful only with enough dangerous samples on the zone side)
+    zone_dc, zone_samples = _zone_level_dc(report.campaign,
+                                           zones_in_areas)
+    local_dc = local.measured_dc()
+    consistent = (zone_dc is None or zone_samples < 8
+                  or abs(local_dc - zone_dc)
+                  <= config.aggregate_dc_tolerance + 0.15)
+
+    # fault simulator: permanent fault coverage of the areas
+    fcov = simulate_faults(env.circuit, env.stimuli,
+                           candidates=gate_faults, setup=env.setup)
+    report.fault_coverage = fcov.coverage
+
+    detail = (f"areas {paths}: {len(gate_faults.faults)} stuck-at "
+              f"faults, local DC {local_dc * 100:.1f}% vs zone DC "
+              f"{'n/a' if zone_dc is None else f'{zone_dc * 100:.1f}%'}, "
+              f"{fcov.summary()}")
+    report.steps.append(StepResult("c:local-faults", consistent, detail))
+
+
+def _zone_level_dc(campaign: CampaignResult | None,
+                   zones: list[str]) -> tuple[float | None, int]:
+    if campaign is None:
+        return None, 0
+    dd = du = 0
+    for res in campaign.results:
+        if res.fault.zone in zones:
+            outcome = campaign.outcome_of(res)
+            if outcome == "dangerous_detected":
+                dd += 1
+            elif outcome == "dangerous_undetected":
+                du += 1
+    if dd + du == 0:
+        return None, 0
+    return dd / (dd + du), dd + du
+
+
+def _step_d(subsystem, env: InjectionEnvironment,
+            config: ValidationConfig, report: ValidationReport) -> None:
+    """Wide/global faults: no unexplained new effects."""
+    zone_set = env.zone_set
+    circuit = env.circuit
+    faults: list = []
+
+    # wide: bridges between nets of structurally correlated zone pairs
+    pairs = zone_set.correlation.correlated_pairs() \
+        if zone_set.correlation else []
+    for (za, zb), _shared in pairs[:config.wide_fault_pairs]:
+        try:
+            a = zone_set.by_name(za)
+            b = zone_set.by_name(zb)
+        except KeyError:
+            continue
+        if not a.nets or not b.nets:
+            continue
+        faults.append(BridgeFault(
+            target=circuit.net_names[a.nets[0]], zone=za,
+            victim=circuit.net_names[b.nets[0]]))
+
+    # global: stuck on the highest-fanout critical nets
+    critical = zone_set.of_kind(ZoneKind.CRITICAL_NET)
+    critical.sort(key=lambda z: -z.attrs.get("fanout", 0))
+    for zone in critical[:config.global_faults]:
+        faults.append(GlobalStuckFault(
+            target=zone.name, zone=zone.name,
+            nets=tuple(circuit.net_names[n] for n in zone.nets),
+            value=0))
+
+    if not faults:
+        report.steps.append(StepResult(
+            "d:wide-global", True, "no wide/global fault sites found"))
+        return
+
+    campaign = env.manager(config.campaign).run(
+        CandidateList(faults=faults))
+    report.wide_campaign = campaign
+
+    # consistency: every measured effect must be predicted reachable
+    # from at least one zone the fault touches
+    predicted = predict_effects_table(zone_set)
+    from ..zones.classify import FaultClassifier
+    classifier = FaultClassifier(zone_set)
+    unexplained: list[tuple[str, str]] = []
+    for res in campaign.results:
+        fault = res.fault
+        if isinstance(fault, BridgeFault):
+            extents = {fault.zone,
+                       *classifier.classify_net(fault.victim).zones,
+                       *classifier.classify_net(fault.target).zones}
+        else:
+            extents = set()
+            for net in getattr(fault, "nets", ()):  # global faults
+                extents.update(classifier.classify_net(net).zones)
+        reachable: set[str] = set()
+        for zname in extents:
+            pred = predicted.get(zname)
+            if pred is not None:
+                reachable.update(e.observation for e in pred.effects)
+        for point in res.effects:
+            if reachable and point not in reachable:
+                unexplained.append((fault.name, point))
+
+    passed = not unexplained
+    detail = (f"{len(faults)} wide/global faults, "
+              f"{len(unexplained)} unexplained effects")
+    if unexplained:
+        detail += f" (e.g. {unexplained[:3]})"
+    report.steps.append(StepResult("d:wide-global", passed, detail))
+
+
+def _diag_topup(env: InjectionEnvironment, config: ValidationConfig,
+                merged: CoverageCollection,
+                report: ValidationReport) -> None:
+    """Coverage-driven top-up: uncovered DIAG items get targeted local
+    faults injected into the alarm's own input cone."""
+    import random
+
+    from ..zones.cones import ConeAnalyzer
+    from .faults import StuckNetFault
+
+    uncovered = [name for name, hit in merged.diag.items() if not hit]
+    if not uncovered:
+        return
+    analyzer = ConeAnalyzer(env.circuit)
+    rng = random.Random(config.seed)
+    faults = []
+    point_by_name = {p.name: p for p in env.zone_set.observation_points}
+    skip_ops = ("buf", "const0", "const1")
+    for name in uncovered:
+        point = point_by_name.get(name)
+        if point is None:
+            continue
+        cone = analyzer.cone_of_nets(point.nets)
+        gates = [gi for gi in sorted(cone.gates)
+                 if env.circuit.gates[gi].op_name not in skip_ops]
+        if len(gates) > config.cone_faults_per_zone:
+            gates = rng.sample(gates, config.cone_faults_per_zone)
+        for gi in gates:
+            for value in (0, 1):
+                faults.append(StuckNetFault(
+                    target=env.circuit.net_names[
+                        env.circuit.gates[gi].out],
+                    zone=None, value=value))
+    if not faults:
+        return
+    topup = env.manager(config.campaign).run(
+        CandidateList(faults=faults))
+    report.topup_campaign = topup
+    merged.merge(topup.coverage)
+
+
+def _step_coverage(config: ValidationConfig,
+                   report: ValidationReport,
+                   env: InjectionEnvironment | None = None) -> None:
+    """Campaign completeness: all SENS/OBSE/DIAG items covered (§5).
+
+    The ledger merges all three campaigns (a, c, d) plus the golden
+    activity of the full workload measured in step b; any DIAG item
+    still uncovered gets a targeted top-up campaign into its cone.
+    """
+    merged = CoverageCollection()
+    for campaign in (report.campaign, report.local_campaign,
+                     report.wide_campaign):
+        if campaign is not None:
+            merged.merge(campaign.coverage)
+    if env is not None:
+        _diag_topup(env, config, merged, report)
+    report.coverage = merged
+    detail = (f"SENS {merged.sens_coverage() * 100:.0f}% "
+              f"OBSE {merged.obse_coverage() * 100:.0f}% "
+              f"DIAG {merged.diag_coverage() * 100:.0f}%")
+    holes = merged.uncovered()
+    missing = [f"{k}:{v[:3]}" for k, v in holes.items() if v]
+    if missing:
+        detail += " — uncovered " + "; ".join(missing)
+    report.steps.append(StepResult("e:coverage-completeness",
+                                   merged.complete, detail))

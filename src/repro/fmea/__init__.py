@@ -1,0 +1,58 @@
+"""The FMEA spreadsheet engine: rows, factors, FIT, metrics, analysis."""
+
+from .fit import DEFAULT_FIT_MODEL, FitModel
+from .factors import (
+    DEFAULT_FREQUENCY,
+    DEFAULT_S_FACTORS,
+    FrequencyClass,
+    SDFactors,
+    default_factors,
+    default_frequency,
+)
+from .entry import DiagnosticClaim, FmeaEntry, combine_coverage
+from .worksheet import FmeaWorksheet
+from .builder import (
+    CoverageRule,
+    DEFAULT_WORKSHEET_KINDS,
+    DiagnosticPlan,
+    FactorRule,
+    build_worksheet,
+)
+from .ranking import ZoneCriticality, critical_zones, rank_zones
+from .sensitivity import (
+    SensitivityAnalysis,
+    SpanResult,
+    StabilityReport,
+    stability_report,
+)
+from .io import (
+    dumps_worksheet,
+    load_worksheet,
+    loads_worksheet,
+    save_worksheet,
+    worksheet_from_dict,
+    worksheet_to_dict,
+)
+from .report import (
+    criticality_report,
+    full_report,
+    summary_report,
+    validation_report,
+)
+
+__all__ = [
+    "DEFAULT_FIT_MODEL", "FitModel",
+    "DEFAULT_FREQUENCY", "DEFAULT_S_FACTORS", "FrequencyClass",
+    "SDFactors", "default_factors", "default_frequency",
+    "DiagnosticClaim", "FmeaEntry", "combine_coverage",
+    "FmeaWorksheet",
+    "CoverageRule", "DEFAULT_WORKSHEET_KINDS", "DiagnosticPlan",
+    "FactorRule", "build_worksheet",
+    "ZoneCriticality", "critical_zones", "rank_zones",
+    "SensitivityAnalysis", "SpanResult", "StabilityReport",
+    "stability_report",
+    "criticality_report", "full_report", "summary_report",
+    "validation_report",
+    "dumps_worksheet", "load_worksheet", "loads_worksheet",
+    "save_worksheet", "worksheet_from_dict", "worksheet_to_dict",
+]

@@ -1,0 +1,105 @@
+"""S/D factors, frequency classes and lifetime (paper §3).
+
+The FMEA spreadsheet takes, per (zone, failure mode):
+
+* **S and D factors** "to estimate the Safe fraction and Dangerous
+  fraction of the possible failures" — two flavours: *architectural*
+  (e.g. a zone blocked by masking gates at run time) and *applicational*
+  (e.g. a zone not used by the given application).  "Usually only
+  architectural S/D factors are considered."
+* **frequency class F** "used to estimate its usage frequencies";
+* **lifetime ζ**, "the time between the average last read and the write
+  in such zone" — the exposure window of stored data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..zones.model import ZoneKind
+
+
+class FrequencyClass(str, Enum):
+    """Usage-frequency classes with their exposure weights.
+
+    A zone exercised every few cycles (F1) is fully exposed; a zone
+    touched rarely (F4, e.g. BIST logic after start-up) converts most
+    raw failures into safe ones because a corrupted value is unlikely
+    to be consumed.
+    """
+
+    F1 = "F1"   # continuously used
+    F2 = "F2"   # frequently used
+    F3 = "F3"   # occasionally used
+    F4 = "F4"   # rarely used (start-up only, test logic)
+
+    @property
+    def exposure(self) -> float:
+        return {"F1": 1.0, "F2": 0.7, "F3": 0.3, "F4": 0.05}[self.value]
+
+
+@dataclass(frozen=True)
+class SDFactors:
+    """Safe-fraction estimate for a (zone, failure-mode) pair.
+
+    ``architectural`` and ``applicational`` are *safe* fractions in
+    [0, 1]; the dangerous fraction D is their complement after combining
+    with the frequency exposure:
+
+        S_eff = 1 - (1 - S_arch) * (1 - S_app is ignored when
+                applicational analysis is off) * exposure(F)
+
+    i.e. failures are dangerous only when not masked architecturally,
+    not masked by the application, and the zone is actually exposed.
+    """
+
+    architectural: float = 0.0
+    applicational: float = 0.0
+    use_applicational: bool = False
+
+    def effective_safe_fraction(self, frequency: FrequencyClass) -> float:
+        dangerous = 1.0 - self.architectural
+        if self.use_applicational:
+            dangerous *= 1.0 - self.applicational
+        dangerous *= frequency.exposure
+        return 1.0 - dangerous
+
+
+# Default architectural S factors per zone kind: how much of the raw
+# failure population is inherently safe (never propagates to the safety
+# function).  These are the user estimates the validation flow later
+# cross-checks against injection measurements.
+#
+# Memory: a corrupted stored bit is dangerous only if it is read before
+# being overwritten; lifetime analyses of working memories (the ζ of
+# §3; cf. AVF literature, refs [13][14] of the paper) put the dead-data
+# fraction around 30-50 %; background scrubbing keeps occupancy fresh,
+# so the default sits at the upper end of that range.
+DEFAULT_S_FACTORS: dict[ZoneKind, float] = {
+    ZoneKind.MEMORY: 0.50,
+    ZoneKind.REGISTER: 0.40,
+    ZoneKind.LOGICAL: 0.40,
+    ZoneKind.PRIMARY_INPUT: 0.30,
+    ZoneKind.PRIMARY_OUTPUT: 0.10,
+    ZoneKind.CRITICAL_NET: 0.10,
+    ZoneKind.SUBBLOCK: 0.40,
+}
+
+DEFAULT_FREQUENCY: dict[ZoneKind, FrequencyClass] = {
+    ZoneKind.MEMORY: FrequencyClass.F1,
+    ZoneKind.REGISTER: FrequencyClass.F1,
+    ZoneKind.LOGICAL: FrequencyClass.F2,
+    ZoneKind.PRIMARY_INPUT: FrequencyClass.F1,
+    ZoneKind.PRIMARY_OUTPUT: FrequencyClass.F1,
+    ZoneKind.CRITICAL_NET: FrequencyClass.F1,
+    ZoneKind.SUBBLOCK: FrequencyClass.F2,
+}
+
+
+def default_factors(kind: ZoneKind) -> SDFactors:
+    return SDFactors(architectural=DEFAULT_S_FACTORS[kind])
+
+
+def default_frequency(kind: ZoneKind) -> FrequencyClass:
+    return DEFAULT_FREQUENCY[kind]

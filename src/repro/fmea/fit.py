@@ -1,0 +1,93 @@
+"""Elementary failure-in-time models (paper §3).
+
+"Starting from the elementary failure in time (FIT) per gate and per
+register both for transient and permanent faults, all the data
+automatically extracted by the tool are used to compute the failure
+rates for each sensible zone."
+
+Absolute FIT values are technology data the paper does not publish; the
+defaults below are representative of a 90 nm-class automotive process
+(memory-bit SEU dominating, logic SET heavily derated) and are plain
+user inputs — EXPERIMENTS.md documents the set used for each
+reproduction run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..zones.model import SensibleZone, ZoneKind
+
+
+@dataclass(frozen=True)
+class FitModel:
+    """Elementary FIT rates (failures per 10^9 device-hours)."""
+
+    gate_transient_fit: float = 0.0008   # SET reaching a latch window
+    gate_permanent_fit: float = 0.0040   # hard defects per gate
+    flop_transient_fit: float = 0.0500   # SEU per flip-flop bit
+    flop_permanent_fit: float = 0.0080   # hard defects per flip-flop
+    membit_transient_fit: float = 0.0100  # SEU per SRAM bit
+    membit_permanent_fit: float = 0.0004  # hard defects per SRAM bit
+    net_transient_fit: float = 0.0002    # coupling/noise per net load
+    net_permanent_fit: float = 0.0010    # opens/shorts per net load
+
+    # ------------------------------------------------------------------
+    def zone_fit(self, zone: SensibleZone) -> tuple[float, float]:
+        """(transient FIT, permanent FIT) for a sensible zone.
+
+        Register zones accumulate their storage bits plus the gates of
+        their input logic cone (faults in the cone converge into the
+        zone, §3); memory zones scale with their bit count; critical
+        nets scale with fanout; sub-blocks and ports use their gate and
+        bit statistics.
+        """
+        kind = zone.kind
+        if kind is ZoneKind.MEMORY:
+            bits = zone.size_bits
+            return (bits * self.membit_transient_fit,
+                    bits * self.membit_permanent_fit)
+        if kind is ZoneKind.REGISTER:
+            t = (zone.size_bits * self.flop_transient_fit
+                 + zone.cone_gates * self.gate_transient_fit)
+            p = (zone.size_bits * self.flop_permanent_fit
+                 + zone.cone_gates * self.gate_permanent_fit)
+            return t, p
+        if kind is ZoneKind.CRITICAL_NET:
+            fanout = zone.attrs.get("fanout", 1)
+            return (fanout * self.net_transient_fit,
+                    fanout * self.net_permanent_fit)
+        if kind is ZoneKind.SUBBLOCK:
+            gates = zone.attrs.get("gates", zone.cone_gates)
+            flops = zone.attrs.get("flops", 0)
+            t = (gates * self.gate_transient_fit
+                 + flops * self.flop_transient_fit)
+            p = (gates * self.gate_permanent_fit
+                 + flops * self.flop_permanent_fit)
+            return t, p
+        if kind in (ZoneKind.PRIMARY_INPUT, ZoneKind.PRIMARY_OUTPUT):
+            bits = max(1, zone.size_bits)
+            return (bits * self.net_transient_fit,
+                    bits * self.net_permanent_fit)
+        # logical zones: treat like a register-equivalent entity
+        return (max(1, zone.size_bits) * self.flop_transient_fit,
+                max(1, zone.size_bits) * self.flop_permanent_fit)
+
+    # ------------------------------------------------------------------
+    def scaled(self, transient: float = 1.0,
+               permanent: float = 1.0) -> "FitModel":
+        """A model with all transient/permanent rates multiplied —
+        the fault-model span of the sensitivity analysis (§4)."""
+        return replace(
+            self,
+            gate_transient_fit=self.gate_transient_fit * transient,
+            flop_transient_fit=self.flop_transient_fit * transient,
+            membit_transient_fit=self.membit_transient_fit * transient,
+            net_transient_fit=self.net_transient_fit * transient,
+            gate_permanent_fit=self.gate_permanent_fit * permanent,
+            flop_permanent_fit=self.flop_permanent_fit * permanent,
+            membit_permanent_fit=self.membit_permanent_fit * permanent,
+            net_permanent_fit=self.net_permanent_fit * permanent)
+
+
+DEFAULT_FIT_MODEL = FitModel()

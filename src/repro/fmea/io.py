@@ -1,0 +1,110 @@
+"""Worksheet persistence: JSON save/load for the FMEA spreadsheet.
+
+The paper's flow revolves around a spreadsheet artifact that travels
+between the extraction tool, the analyst and the validation flow.  The
+JSON schema here captures every row field — including the measured
+values the result analyzer fills in — so a worksheet can be saved after
+a campaign and re-assessed later without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..zones.model import FailureMode, FaultPersistence, ZoneKind
+from .entry import DiagnosticClaim, FmeaEntry
+from .factors import FrequencyClass, SDFactors
+from .worksheet import FmeaWorksheet
+
+SCHEMA_VERSION = 1
+
+
+def worksheet_to_dict(sheet: FmeaWorksheet) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": sheet.name,
+        "entries": [_entry_to_dict(e) for e in sheet.entries],
+    }
+
+
+def worksheet_from_dict(data: dict) -> FmeaWorksheet:
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported worksheet schema {data.get('schema')!r}")
+    sheet = FmeaWorksheet(name=data["name"])
+    sheet.extend(_entry_from_dict(e) for e in data["entries"])
+    return sheet
+
+
+def save_worksheet(sheet: FmeaWorksheet, path) -> None:
+    with open(path, "w") as handle:
+        json.dump(worksheet_to_dict(sheet), handle, indent=1)
+
+
+def load_worksheet(path) -> FmeaWorksheet:
+    with open(path) as handle:
+        return worksheet_from_dict(json.load(handle))
+
+
+def dumps_worksheet(sheet: FmeaWorksheet) -> str:
+    return json.dumps(worksheet_to_dict(sheet))
+
+
+def loads_worksheet(text: str) -> FmeaWorksheet:
+    return worksheet_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+def _entry_to_dict(entry: FmeaEntry) -> dict:
+    return {
+        "zone": entry.zone,
+        "kind": entry.zone_kind.value,
+        "failure_mode": {
+            "name": entry.failure_mode.name,
+            "description": entry.failure_mode.description,
+            "persistence": entry.failure_mode.persistence.value,
+            "iec_reference": entry.failure_mode.iec_reference,
+        },
+        "raw_fit": entry.raw_fit,
+        "factors": {
+            "architectural": entry.factors.architectural,
+            "applicational": entry.factors.applicational,
+            "use_applicational": entry.factors.use_applicational,
+        },
+        "frequency": entry.frequency.value,
+        "frequency_architectural": entry.frequency_architectural,
+        "lifetime_cycles": entry.lifetime_cycles,
+        "claims": [{
+            "technique": c.technique_key,
+            "ddf": c.claimed_ddf,
+            "software": c.software,
+        } for c in entry.claims],
+        "measured_ddf": entry.measured_ddf,
+        "measured_safe_fraction": entry.measured_safe_fraction,
+        "notes": entry.notes,
+    }
+
+
+def _entry_from_dict(data: dict) -> FmeaEntry:
+    fm = data["failure_mode"]
+    return FmeaEntry(
+        zone=data["zone"],
+        zone_kind=ZoneKind(data["kind"]),
+        failure_mode=FailureMode(
+            name=fm["name"], description=fm["description"],
+            persistence=FaultPersistence(fm["persistence"]),
+            iec_reference=fm["iec_reference"]),
+        raw_fit=data["raw_fit"],
+        factors=SDFactors(
+            architectural=data["factors"]["architectural"],
+            applicational=data["factors"]["applicational"],
+            use_applicational=data["factors"]["use_applicational"]),
+        frequency=FrequencyClass(data["frequency"]),
+        frequency_architectural=data.get("frequency_architectural",
+                                         False),
+        lifetime_cycles=data["lifetime_cycles"],
+        claims=[DiagnosticClaim(c["technique"], c["ddf"], c["software"])
+                for c in data["claims"]],
+        measured_ddf=data["measured_ddf"],
+        measured_safe_fraction=data["measured_safe_fraction"],
+        notes=data["notes"])

@@ -1,0 +1,54 @@
+"""Criticality ranking of sensible zones (paper §3, §6).
+
+"It also delivers a ranking of sensible zones in terms of their
+criticality" — here measured by each zone's dangerous-undetected rate
+λDU, the quantity that directly erodes the SFF.  §6 reports that, for
+the baseline design, the critical zones were "the BIST control logic,
+the registers involved in addresses latching, most of the blocks of the
+decoder, the registers of the write buffer, some of the blocks of the
+MCE".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..iec61508.metrics import FailureRates
+from .worksheet import FmeaWorksheet
+
+
+@dataclass
+class ZoneCriticality:
+    """One ranking row."""
+
+    zone: str
+    rates: FailureRates
+    du_share: float      # fraction of the SoC λDU contributed
+    cumulative: float    # running sum of du_share
+
+    def __str__(self) -> str:
+        return (f"{self.zone}: λDU={self.rates.lambda_du:.4f} FIT "
+                f"({self.du_share * 100:.1f}%, "
+                f"cum {self.cumulative * 100:.1f}%)")
+
+
+def rank_zones(sheet: FmeaWorksheet,
+               top: int | None = None) -> list[ZoneCriticality]:
+    """Zones ordered by decreasing λDU contribution."""
+    by_zone = sheet.totals_by_zone()
+    total_du = sum(r.lambda_du for r in by_zone.values()) or 1.0
+    ordered = sorted(by_zone.items(), key=lambda kv: -kv[1].lambda_du)
+    rows: list[ZoneCriticality] = []
+    running = 0.0
+    for zone, rates in ordered:
+        share = rates.lambda_du / total_du
+        running += share
+        rows.append(ZoneCriticality(zone, rates, share, running))
+    return rows[:top] if top is not None else rows
+
+
+def critical_zones(sheet: FmeaWorksheet,
+                   du_share_threshold: float = 0.02) -> list[str]:
+    """Zones individually responsible for a sizeable λDU share."""
+    return [row.zone for row in rank_zones(sheet)
+            if row.du_share >= du_share_threshold]

@@ -1,0 +1,68 @@
+"""Human-readable FMEA reports ("very detailed reports on sensible
+zones, fault effects, failure rates, etc.", paper §7)."""
+
+from __future__ import annotations
+
+from ..iec61508.sil import SIL, max_sil, required_sff
+from ..reporting.tables import pct, render_kv, render_table
+from .ranking import rank_zones
+from .worksheet import FmeaWorksheet
+
+
+def summary_report(sheet: FmeaWorksheet, hft: int = 0) -> str:
+    """Headline metrics block (λ totals, DC, SFF, granted SIL)."""
+    totals = sheet.totals()
+    granted = max_sil(totals.sff, hft)
+    pairs = [
+        ("worksheet", sheet.name),
+        ("rows", len(sheet.entries)),
+        ("zones", len(sheet.zone_names())),
+        ("lambda_S [FIT]", f"{totals.lambda_s:.3f}"),
+        ("lambda_DD [FIT]", f"{totals.lambda_dd:.3f}"),
+        ("lambda_DU [FIT]", f"{totals.lambda_du:.3f}"),
+        ("DC", pct(totals.dc)),
+        ("SFF", pct(totals.sff)),
+        (f"SIL granted @ HFT={hft}",
+         granted.name if granted else "not allowed"),
+        ("SIL3 SFF requirement",
+         pct(required_sff(SIL.SIL3, hft))),
+    ]
+    return render_kv(pairs, title="=== FMEA summary ===")
+
+
+def criticality_report(sheet: FmeaWorksheet, top: int = 15) -> str:
+    """The criticality ranking table of §3/§6."""
+    rows = []
+    for row in rank_zones(sheet, top=top):
+        rows.append([row.zone,
+                     f"{row.rates.lambda_du:.4f}",
+                     f"{row.rates.lambda_d:.4f}",
+                     pct(row.rates.sff),
+                     pct(row.du_share, 1),
+                     pct(row.cumulative, 1)])
+    return render_table(
+        ["zone", "λDU [FIT]", "λD [FIT]", "zone SFF", "λDU share", "cum"],
+        rows, title=f"=== top {top} critical sensible zones ===")
+
+
+def validation_report(sheet: FmeaWorksheet) -> str:
+    """Claimed vs measured DDF for rows with injection measurements."""
+    rows = []
+    for entry in sheet.measured_rows():
+        rows.append([entry.zone, entry.failure_mode.name,
+                     f"{entry.ddf:.3f}",
+                     f"{entry.measured_ddf:.3f}",
+                     f"{entry.validation_gap():.3f}"])
+    if not rows:
+        return "no injection measurements recorded"
+    return render_table(
+        ["zone", "failure mode", "claimed DDF", "measured DDF", "gap"],
+        rows, title="=== FMEA validation (claimed vs measured) ===")
+
+
+def full_report(sheet: FmeaWorksheet, hft: int = 0, top: int = 15) -> str:
+    parts = [summary_report(sheet, hft), "", criticality_report(sheet, top)]
+    measured = validation_report(sheet)
+    if not measured.startswith("no injection"):
+        parts.extend(["", measured])
+    return "\n".join(parts)

@@ -1,0 +1,182 @@
+"""Sensitivity / stability analysis of the FMEA (paper §4, last ¶).
+
+"An important step of the FMEA is to span the values of the assumptions
+(such the elementary failure rates for transient and permanent faults
+or the user assumptions such S, D and F) in order to measure the
+sensitivity of the final DC/SFF to these changes."
+
+§6 then reports that the improved design's SFF "was very stable as
+well, i.e. changes on S, D, F and fault models didn't change the result
+in a sensible way" — the property :func:`stability_report` checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..zones.model import FaultPersistence
+from .entry import DiagnosticClaim, FmeaEntry
+from .factors import FrequencyClass, SDFactors
+from .worksheet import FmeaWorksheet
+
+
+def _clip01(x: float) -> float:
+    return min(1.0, max(0.0, x))
+
+
+@dataclass
+class SpanResult:
+    """SFF/DC of one perturbed worksheet variant."""
+
+    parameter: str
+    factor: float
+    sff: float
+    dc: float
+    delta_sff: float   # vs the nominal worksheet
+
+    def __str__(self) -> str:
+        return (f"{self.parameter} x{self.factor:g}: "
+                f"SFF={self.sff * 100:.2f}% (Δ {self.delta_sff * 100:+.2f} "
+                f"pt), DC={self.dc * 100:.2f}%")
+
+
+@dataclass
+class StabilityReport:
+    """Aggregate of a sensitivity sweep."""
+
+    nominal_sff: float
+    nominal_dc: float
+    results: list[SpanResult] = field(default_factory=list)
+
+    @property
+    def max_delta_sff(self) -> float:
+        return max((abs(r.delta_sff) for r in self.results), default=0.0)
+
+    @property
+    def min_sff(self) -> float:
+        return min((r.sff for r in self.results), default=self.nominal_sff)
+
+    def stable(self, tolerance: float = 0.005) -> bool:
+        """True when no span moves SFF by more than ``tolerance``."""
+        return self.max_delta_sff <= tolerance
+
+    def summary(self) -> str:
+        lines = [f"nominal SFF={self.nominal_sff * 100:.2f}% "
+                 f"DC={self.nominal_dc * 100:.2f}%"]
+        lines.extend(str(r) for r in self.results)
+        lines.append(f"max |ΔSFF| = {self.max_delta_sff * 100:.2f} pt, "
+                     f"min SFF = {self.min_sff * 100:.2f}%")
+        return "\n".join(lines)
+
+
+class SensitivityAnalysis:
+    """Perturbs FMEA assumptions and recomputes DC/SFF."""
+
+    #: default spans: ±2x fault models, ±50 % S factors, +50 % DDF
+    #: residual (uncovered fraction), one frequency class pessimization.
+    DEFAULT_SPANS = {
+        "fit_transient": (0.5, 2.0),
+        "fit_permanent": (0.5, 2.0),
+        "s_factor": (0.5, 1.5),
+        "ddf_residual": (1.5,),
+        "frequency": ("pessimize",),
+    }
+
+    def __init__(self, sheet: FmeaWorksheet):
+        self.sheet = sheet
+
+    # ------------------------------------------------------------------
+    # per-parameter perturbations (each returns a new worksheet)
+    # ------------------------------------------------------------------
+    def scale_fit(self, persistence: FaultPersistence,
+                  factor: float) -> FmeaWorksheet:
+        def mod(entry: FmeaEntry) -> FmeaEntry:
+            if entry.persistence is persistence:
+                return replace(entry, raw_fit=entry.raw_fit * factor)
+            return entry
+        return self._apply(mod, f"fit_{persistence.value}x{factor:g}")
+
+    def scale_s_factor(self, factor: float) -> FmeaWorksheet:
+        def mod(entry: FmeaEntry) -> FmeaEntry:
+            f = entry.factors
+            scaled = SDFactors(
+                architectural=_clip01(f.architectural * factor),
+                applicational=_clip01(f.applicational * factor),
+                use_applicational=f.use_applicational)
+            return replace(entry, factors=scaled)
+        return self._apply(mod, f"s_x{factor:g}")
+
+    def scale_ddf_residual(self, factor: float) -> FmeaWorksheet:
+        """Scale the *uncovered* fraction of every claim.
+
+        Coverage uncertainty lives in the residual: a 99 % claim whose
+        miss rate grows 1.5x becomes 98.5 %, not 79 %.
+        """
+        def mod(entry: FmeaEntry) -> FmeaEntry:
+            claims = [DiagnosticClaim(
+                c.technique_key,
+                _clip01(1.0 - (1.0 - c.claimed_ddf) * factor),
+                c.software) for c in entry.claims]
+            return replace(entry, claims=claims)
+        return self._apply(mod, f"ddf_residual_x{factor:g}")
+
+    def pessimize_frequency(self) -> FmeaWorksheet:
+        """Shift estimated frequency classes one step toward full
+        exposure.
+
+        Architecturally-derived classes (start-up-only BIST, the scrub
+        engine's repair window) are structural facts, not estimates —
+        they are not spanned.
+        """
+        order = [FrequencyClass.F4, FrequencyClass.F3,
+                 FrequencyClass.F2, FrequencyClass.F1]
+
+        def mod(entry: FmeaEntry) -> FmeaEntry:
+            if entry.frequency_architectural:
+                return entry
+            idx = order.index(entry.frequency)
+            bumped = order[min(idx + 1, len(order) - 1)]
+            return replace(entry, frequency=bumped)
+        return self._apply(mod, "freq_pessimized")
+
+    def _apply(self, mod, name: str) -> FmeaWorksheet:
+        variant = FmeaWorksheet(name=f"{self.sheet.name}:{name}")
+        variant.extend(mod(e) for e in self.sheet.entries)
+        return variant
+
+    # ------------------------------------------------------------------
+    def run(self, spans: dict | None = None) -> StabilityReport:
+        spans = spans or self.DEFAULT_SPANS
+        nominal = self.sheet.totals()
+        report = StabilityReport(nominal_sff=nominal.sff,
+                                 nominal_dc=nominal.dc)
+
+        def record(param: str, factor, variant: FmeaWorksheet) -> None:
+            totals = variant.totals()
+            report.results.append(SpanResult(
+                parameter=param,
+                factor=factor if isinstance(factor, (int, float)) else 1.0,
+                sff=totals.sff, dc=totals.dc,
+                delta_sff=totals.sff - nominal.sff))
+
+        for factor in spans.get("fit_transient", ()):
+            record("fit_transient", factor,
+                   self.scale_fit(FaultPersistence.TRANSIENT, factor))
+        for factor in spans.get("fit_permanent", ()):
+            record("fit_permanent", factor,
+                   self.scale_fit(FaultPersistence.PERMANENT, factor))
+        for factor in spans.get("s_factor", ()):
+            record("s_factor", factor, self.scale_s_factor(factor))
+        for factor in spans.get("ddf_residual", ()):
+            record("ddf_residual", factor,
+                   self.scale_ddf_residual(factor))
+        for mode in spans.get("frequency", ()):
+            if mode == "pessimize":
+                record("frequency", 1.0, self.pessimize_frequency())
+        return report
+
+
+def stability_report(sheet: FmeaWorksheet,
+                     spans: dict | None = None) -> StabilityReport:
+    """Convenience wrapper for the default sensitivity sweep."""
+    return SensitivityAnalysis(sheet).run(spans)

@@ -1,0 +1,160 @@
+"""The FMEA worksheet: the paper's "spreadsheet".
+
+"Based on this information, the spreadsheet computes all the metrics
+required by the IEC61508, such as the safe (λS) and dangerous (λD)
+failure rates for each sensible zone and for all the SoC.  It also
+delivers a ranking of sensible zones in terms of their criticality."
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+
+from ..iec61508.metrics import FailureRates
+from ..iec61508.sil import SIL, max_sil
+from ..zones.model import FaultPersistence
+from .entry import FmeaEntry
+
+
+@dataclass
+class FmeaWorksheet:
+    """A collection of FMEA rows with aggregate IEC 61508 metrics."""
+
+    name: str = "fmea"
+    entries: list[FmeaEntry] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, entry: FmeaEntry) -> None:
+        self.entries.append(entry)
+
+    def extend(self, entries) -> None:
+        self.entries.extend(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def rows_for_zone(self, zone: str) -> list[FmeaEntry]:
+        return [e for e in self.entries if e.zone == zone]
+
+    def row(self, zone: str, failure_mode: str) -> FmeaEntry:
+        for entry in self.entries:
+            if entry.zone == zone and entry.failure_mode.name == \
+                    failure_mode:
+                return entry
+        raise KeyError(f"no row ({zone!r}, {failure_mode!r})")
+
+    def zone_names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for entry in self.entries:
+            seen.setdefault(entry.zone, None)
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    # aggregate metrics
+    # ------------------------------------------------------------------
+    def totals(self) -> FailureRates:
+        return FailureRates.sum(e.rates() for e in self.entries)
+
+    def totals_by_zone(self) -> dict[str, FailureRates]:
+        acc: dict[str, FailureRates] = {}
+        for entry in self.entries:
+            acc[entry.zone] = acc.get(entry.zone, FailureRates()) \
+                + entry.rates()
+        return acc
+
+    def totals_by_persistence(self) -> dict[str, FailureRates]:
+        acc = {FaultPersistence.TRANSIENT.value: FailureRates(),
+               FaultPersistence.PERMANENT.value: FailureRates()}
+        for entry in self.entries:
+            acc[entry.persistence.value] = \
+                acc[entry.persistence.value] + entry.rates()
+        return acc
+
+    @property
+    def sff(self) -> float:
+        return self.totals().sff
+
+    @property
+    def dc(self) -> float:
+        return self.totals().dc
+
+    def sil(self, hft: int = 0, type_b: bool = True) -> SIL | None:
+        """Highest SIL the SFF grants at the given HFT."""
+        return max_sil(self.sff, hft, type_b)
+
+    # ------------------------------------------------------------------
+    # validation feedback (§5: the result analyzer "automatically fills
+    # a sheet included in the FMEA spreadsheet")
+    # ------------------------------------------------------------------
+    def record_measurement(self, zone: str, failure_mode: str,
+                           measured_ddf: float,
+                           measured_safe_fraction: float | None = None
+                           ) -> None:
+        entry = self.row(zone, failure_mode)
+        entry.measured_ddf = measured_ddf
+        entry.measured_safe_fraction = measured_safe_fraction
+
+    def measured_rows(self) -> list[FmeaEntry]:
+        return [e for e in self.entries if e.measured_ddf is not None]
+
+    def worst_validation_gap(self) -> float:
+        gaps = [e.validation_gap() for e in self.measured_rows()]
+        return max(gaps) if gaps else 0.0
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    CSV_FIELDS = ("zone", "kind", "failure_mode", "persistence",
+                  "raw_fit", "safe_fraction", "frequency", "ddf",
+                  "ddf_hw", "ddf_sw", "lambda_s", "lambda_dd",
+                  "lambda_du", "measured_ddf", "techniques", "notes")
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=self.CSV_FIELDS)
+        writer.writeheader()
+        for entry in self.entries:
+            rates = entry.rates()
+            writer.writerow({
+                "zone": entry.zone,
+                "kind": entry.zone_kind.value,
+                "failure_mode": entry.failure_mode.name,
+                "persistence": entry.persistence.value,
+                "raw_fit": f"{entry.raw_fit:.6f}",
+                "safe_fraction": f"{entry.safe_fraction:.4f}",
+                "frequency": entry.frequency.value,
+                "ddf": f"{entry.ddf:.4f}",
+                "ddf_hw": f"{entry.ddf_hw:.4f}",
+                "ddf_sw": f"{entry.ddf_sw:.4f}",
+                "lambda_s": f"{rates.lambda_s:.6f}",
+                "lambda_dd": f"{rates.lambda_dd:.6f}",
+                "lambda_du": f"{rates.lambda_du:.6f}",
+                "measured_ddf": "" if entry.measured_ddf is None
+                else f"{entry.measured_ddf:.4f}",
+                "techniques": "+".join(c.technique_key
+                                       for c in entry.claims),
+                "notes": entry.notes,
+            })
+        return buf.getvalue()
+
+    def save_csv(self, path) -> None:
+        with open(path, "w", newline="") as handle:
+            handle.write(self.to_csv())
+
+    def summary(self) -> str:
+        totals = self.totals()
+        return (f"FMEA {self.name!r}: {len(self.entries)} rows over "
+                f"{len(self.zone_names())} zones | "
+                f"λS={totals.lambda_s:.2f} λDD={totals.lambda_dd:.2f} "
+                f"λDU={totals.lambda_du:.2f} FIT | "
+                f"DC={totals.dc * 100:.2f}% SFF={totals.sff * 100:.2f}%")

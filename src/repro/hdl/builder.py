@@ -1,0 +1,466 @@
+"""RTL-like builder DSL that lowers to the gate-level netlist IR.
+
+The paper's flow works on *synthesized* RTL: the designs in this
+repository are therefore described with a small synthesizable DSL whose
+vector expressions are immediately lowered to 2-input gates, flip-flops
+and memory macros.  Hierarchy is captured with :meth:`Module.scope`
+context managers so the zone extractor can recover sub-blocks.
+
+Example::
+
+    m = Module("toy")
+    a = m.input("a", 4)
+    b = m.input("b", 4)
+    with m.scope("datapath"):
+        q = m.reg("q", a ^ b)
+    m.output("y", q)
+    circuit = m.build()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from .netlist import (
+    Circuit,
+    NetlistError,
+    OP_AND,
+    OP_BUF,
+    OP_CONST0,
+    OP_CONST1,
+    OP_MUX,
+    OP_NAND,
+    OP_NOR,
+    OP_NOT,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+)
+
+
+class Vec:
+    """An immutable, LSB-first vector of nets bound to a :class:`Module`."""
+
+    __slots__ = ("module", "nets")
+
+    def __init__(self, module: "Module", nets: Sequence[int]):
+        self.module = module
+        self.nets = tuple(nets)
+
+    # -- container protocol -------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nets)
+
+    def __iter__(self) -> Iterator["Vec"]:
+        for net in self.nets:
+            yield Vec(self.module, (net,))
+
+    def __getitem__(self, idx) -> "Vec":
+        if isinstance(idx, slice):
+            return Vec(self.module, self.nets[idx])
+        return Vec(self.module, (self.nets[idx],))
+
+    @property
+    def width(self) -> int:
+        return len(self.nets)
+
+    # -- bitwise operators --------------------------------------------
+    def _binary(self, other: "Vec", op: int) -> "Vec":
+        other = self.module._coerce(other, len(self))
+        if len(other) != len(self):
+            raise NetlistError(
+                f"width mismatch: {len(self)} vs {len(other)}")
+        outs = [self.module._gate(op, a, b)
+                for a, b in zip(self.nets, other.nets)]
+        return Vec(self.module, outs)
+
+    def __and__(self, other) -> "Vec":
+        return self._binary(other, OP_AND)
+
+    def __or__(self, other) -> "Vec":
+        return self._binary(other, OP_OR)
+
+    def __xor__(self, other) -> "Vec":
+        return self._binary(other, OP_XOR)
+
+    def __invert__(self) -> "Vec":
+        outs = [self.module._gate(OP_NOT, n) for n in self.nets]
+        return Vec(self.module, outs)
+
+    def nand(self, other) -> "Vec":
+        return self._binary(other, OP_NAND)
+
+    def nor(self, other) -> "Vec":
+        return self._binary(other, OP_NOR)
+
+    def xnor(self, other) -> "Vec":
+        return self._binary(other, OP_XNOR)
+
+    # -- reductions ----------------------------------------------------
+    def _reduce(self, op: int) -> "Vec":
+        nets = list(self.nets)
+        if not nets:
+            raise NetlistError("cannot reduce an empty vector")
+        while len(nets) > 1:
+            nxt = []
+            for i in range(0, len(nets) - 1, 2):
+                nxt.append(self.module._gate(op, nets[i], nets[i + 1]))
+            if len(nets) % 2:
+                nxt.append(nets[-1])
+            nets = nxt
+        return Vec(self.module, nets)
+
+    def reduce_and(self) -> "Vec":
+        return self._reduce(OP_AND)
+
+    def reduce_or(self) -> "Vec":
+        return self._reduce(OP_OR)
+
+    def reduce_xor(self) -> "Vec":
+        return self._reduce(OP_XOR)
+
+    def any(self) -> "Vec":
+        return self.reduce_or()
+
+    def all(self) -> "Vec":
+        return self.reduce_and()
+
+    def parity(self) -> "Vec":
+        return self.reduce_xor()
+
+    # -- comparisons (named methods: __eq__ stays identity) ------------
+    def eq(self, other) -> "Vec":
+        return self.xnor(other).reduce_and()
+
+    def ne(self, other) -> "Vec":
+        return self._binary(other, OP_XOR).reduce_or()
+
+    def is_zero(self) -> "Vec":
+        return ~self.reduce_or()
+
+    # -- shape ops -------------------------------------------------------
+    def repeat(self, n: int) -> "Vec":
+        if len(self) != 1:
+            raise NetlistError("repeat() needs a 1-bit vector")
+        return Vec(self.module, self.nets * n)
+
+    def zext(self, width: int) -> "Vec":
+        if width < len(self):
+            raise NetlistError("zext() cannot shrink a vector")
+        pad = self.module.const(0, width - len(self))
+        return self.module.cat(self, pad) if width > len(self) else self
+
+    def named(self, name: str) -> "Vec":
+        """Buffer through nets with a stable name (debug/probe points)."""
+        outs = []
+        for i, net in enumerate(self.nets):
+            label = name if len(self.nets) == 1 else f"{name}[{i}]"
+            out = self.module._named_net(label)
+            self.module.circuit.add_gate(OP_BUF, (net,), out,
+                                         self.module._path())
+            outs.append(out)
+        return Vec(self.module, outs)
+
+
+class Module:
+    """Builder for a gate-level :class:`Circuit`."""
+
+    def __init__(self, name: str):
+        self.circuit = Circuit(name)
+        self._scope_stack: list[str] = []
+        self._gensym = 0
+        self._const_nets: dict[int, int] = {}
+        self._pending_regs: list[tuple[Vec, Vec]] = []
+        self._pending_forwards: list[tuple[str, Vec]] = []
+
+    # ------------------------------------------------------------------
+    # scoping / naming
+    # ------------------------------------------------------------------
+    @contextmanager
+    def scope(self, name: str):
+        """Enter an instance scope; gates/flops get the nested path."""
+        self._scope_stack.append(name)
+        try:
+            yield self
+        finally:
+            self._scope_stack.pop()
+
+    def _path(self) -> str:
+        return "/".join(self._scope_stack)
+
+    def _named_net(self, name: str) -> int:
+        path = self._path()
+        full = f"{path}/{name}" if path else name
+        return self.circuit.new_net(full)
+
+    def _tmp_net(self) -> int:
+        self._gensym += 1
+        return self._named_net(f"t{self._gensym}")
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+    def _gate(self, op: int, *ins: int) -> int:
+        folded = self._fold(op, ins)
+        if folded is not None:
+            return folded
+        out = self._tmp_net()
+        self.circuit.add_gate(op, ins, out, self._path())
+        return out
+
+    def _fold(self, op: int, ins: tuple[int, ...]) -> int | None:
+        """Peephole constant folding (what synthesis would clean up).
+
+        Degenerate gates — muxes with identical arms, logic against
+        constants — would otherwise create nets that can never toggle,
+        polluting coverage metrics and fault lists.
+        """
+        c0 = self._const_nets.get(0, -1)
+        c1 = self._const_nets.get(1, -1)
+
+        def const_net(bit: int) -> int:
+            return self.const(bit).nets[0]
+
+        if op == OP_NOT:
+            a = ins[0]
+            if a == c0:
+                return const_net(1)
+            if a == c1:
+                return const_net(0)
+            return None
+        if op == OP_AND:
+            a, b = ins
+            if a == c0 or b == c0:
+                return const_net(0)
+            if a == c1:
+                return b
+            if b == c1:
+                return a
+            if a == b:
+                return a
+            return None
+        if op == OP_OR:
+            a, b = ins
+            if a == c1 or b == c1:
+                return const_net(1)
+            if a == c0:
+                return b
+            if b == c0:
+                return a
+            if a == b:
+                return a
+            return None
+        if op == OP_XOR:
+            a, b = ins
+            if a == b:
+                return const_net(0)
+            if a == c0:
+                return b
+            if b == c0:
+                return a
+            if a == c1:
+                return self._gate(OP_NOT, b)
+            if b == c1:
+                return self._gate(OP_NOT, a)
+            return None
+        if op == OP_MUX:
+            sel, a, b = ins
+            if a == b:
+                return a
+            if sel == c1:
+                return a
+            if sel == c0:
+                return b
+            if a == c1 and b == c0:
+                return sel
+            if a == c0 and b == c1:
+                return self._gate(OP_NOT, sel)
+            return None
+        return None
+
+    def _coerce(self, value, width: int) -> Vec:
+        if isinstance(value, Vec):
+            if len(value) == 1 and width > 1:
+                return value.repeat(width)
+            return value
+        if isinstance(value, int):
+            return self.const(value, width)
+        raise NetlistError(f"cannot coerce {value!r} to a {width}-bit Vec")
+
+    def const(self, value: int, width: int = 1) -> Vec:
+        """A constant vector (shared const-0/const-1 source nets)."""
+        nets = []
+        for i in range(width):
+            bit = (value >> i) & 1
+            if bit not in self._const_nets:
+                net = self.circuit.new_net(f"const{bit}")
+                self.circuit.add_gate(OP_CONST1 if bit else OP_CONST0,
+                                      (), net)
+                self._const_nets[bit] = net
+            nets.append(self._const_nets[bit])
+        return Vec(self, nets)
+
+    def input(self, name: str, width: int = 1) -> Vec:
+        if name in self.circuit.inputs:
+            raise NetlistError(f"duplicate input {name!r}")
+        nets = [self.circuit.new_net(
+            name if width == 1 else f"{name}[{i}]") for i in range(width)]
+        self.circuit.inputs[name] = nets
+        return Vec(self, nets)
+
+    def output(self, name: str, vec: Vec) -> None:
+        if name in self.circuit.outputs:
+            raise NetlistError(f"duplicate output {name!r}")
+        self.circuit.outputs[name] = list(vec.nets)
+
+    # ------------------------------------------------------------------
+    # registers
+    # ------------------------------------------------------------------
+    def reg(self, name: str, d: Vec, en: Vec | None = None,
+            rst: Vec | None = None, init: int = 0) -> Vec:
+        """A feed-forward register; returns the q vector."""
+        q = self.declare_reg(name, len(d), en=en, rst=rst, init=init)
+        self.connect_reg(q, d)
+        return q
+
+    def declare_reg(self, name: str, width: int, en: Vec | None = None,
+                    rst: Vec | None = None, init: int = 0) -> Vec:
+        """Declare a register whose d input is connected later.
+
+        Needed for feedback (FSM state, counters).  The returned q vector
+        is usable immediately; call :meth:`connect_reg` exactly once.
+        """
+        path = self._path()
+        en_net = self._single_net(en, "enable")
+        rst_net = self._single_net(rst, "reset")
+        q_nets, d_nets = [], []
+        for i in range(width):
+            label = name if width == 1 else f"{name}[{i}]"
+            q_net = self._named_net(label)
+            d_net = self._named_net(f"{label}.d")
+            full = f"{path}/{label}" if path else label
+            self.circuit.flops.append(
+                _make_flop(full, d_net, q_net, path, en_net, rst_net,
+                           (init >> i) & 1))
+            q_nets.append(q_net)
+            d_nets.append(d_net)
+        q = Vec(self, q_nets)
+        self._pending_regs.append((q, Vec(self, d_nets)))
+        return q
+
+    def connect_reg(self, q: Vec, d: Vec) -> None:
+        for pending_q, d_stub in self._pending_regs:
+            if pending_q.nets == q.nets:
+                if len(d) != len(d_stub):
+                    raise NetlistError(
+                        f"register width {len(d_stub)} != d width {len(d)}")
+                for src, dst in zip(d.nets, d_stub.nets):
+                    self.circuit.add_gate(OP_BUF, (src,), dst, self._path())
+                self._pending_regs.remove((pending_q, d_stub))
+                return
+        raise NetlistError("connect_reg: register not pending")
+
+    # ------------------------------------------------------------------
+    # forward references (combinational, must stay acyclic)
+    # ------------------------------------------------------------------
+    def forward(self, name: str, width: int) -> Vec:
+        """Declare nets whose driver is connected later via
+        :meth:`resolve` — for module-ordering problems like "the core
+        needs the memory's read data, the memory needs the core's
+        address".  The usual acyclicity check still applies at build
+        time, so forwards cannot create combinational loops silently.
+        """
+        nets = [self._named_net(
+            name if width == 1 else f"{name}[{i}]")
+            for i in range(width)]
+        vec = Vec(self, nets)
+        self._pending_forwards.append((name, vec))
+        return vec
+
+    def resolve(self, fwd: Vec, actual: Vec) -> None:
+        """Drive a forward-declared vector with its actual source."""
+        for name, pending in self._pending_forwards:
+            if pending.nets == fwd.nets:
+                if len(actual) != len(fwd):
+                    raise NetlistError(
+                        f"forward {name!r}: width mismatch "
+                        f"{len(fwd)} vs {len(actual)}")
+                for src, dst in zip(actual.nets, fwd.nets):
+                    self.circuit.add_gate(OP_BUF, (src,), dst,
+                                          self._path())
+                self._pending_forwards.remove((name, pending))
+                return
+        raise NetlistError("resolve: vector was not forward-declared "
+                           "(or already resolved)")
+
+    def _single_net(self, vec: Vec | None, what: str) -> int | None:
+        if vec is None:
+            return None
+        if len(vec) != 1:
+            raise NetlistError(f"{what} must be 1 bit wide")
+        return vec.nets[0]
+
+    # ------------------------------------------------------------------
+    # memories
+    # ------------------------------------------------------------------
+    def memory(self, name: str, depth: int, width: int, addr: Vec,
+               wdata: Vec, we: Vec) -> Vec:
+        """Instantiate a synchronous single-port memory; returns rdata."""
+        need = max(1, (depth - 1).bit_length())
+        if len(addr) < need:
+            raise NetlistError(
+                f"memory {name!r}: address width {len(addr)} cannot "
+                f"reach depth {depth}")
+        if len(wdata) != width:
+            raise NetlistError(f"memory {name!r}: wdata width mismatch")
+        path = self._path()
+        rdata = [self._named_net(f"{name}.rdata[{i}]") for i in range(width)]
+        full = f"{path}/{name}" if path else name
+        from .netlist import MemoryBlock
+        self.circuit.memories.append(MemoryBlock(
+            name=full, depth=depth, width=width, addr=tuple(addr.nets),
+            wdata=tuple(wdata.nets), we=we.nets[0], rdata=tuple(rdata),
+            path=path))
+        return Vec(self, rdata)
+
+    # ------------------------------------------------------------------
+    # structural helpers
+    # ------------------------------------------------------------------
+    def cat(self, *vecs: Vec) -> Vec:
+        """Concatenate vectors, first argument at the LSB end."""
+        nets: list[int] = []
+        for v in vecs:
+            nets.extend(v.nets)
+        return Vec(self, nets)
+
+    def mux(self, sel: Vec, a: Vec, b: Vec) -> Vec:
+        """Per-bit 2:1 mux: result is ``a`` when sel is 1, else ``b``."""
+        width = max(len(a) if isinstance(a, Vec) else 1,
+                    len(b) if isinstance(b, Vec) else 1)
+        a = self._coerce(a, width)
+        b = self._coerce(b, width)
+        if len(sel) != 1:
+            raise NetlistError("mux select must be 1 bit")
+        if len(a) != len(b):
+            raise NetlistError("mux arm width mismatch")
+        outs = [self._gate(OP_MUX, sel.nets[0], x, y)
+                for x, y in zip(a.nets, b.nets)]
+        return Vec(self, outs)
+
+    def build(self) -> Circuit:
+        """Finalize and validate the circuit."""
+        if self._pending_regs:
+            names = [self.circuit.net_names[q.nets[0]]
+                     for q, _ in self._pending_regs]
+            raise NetlistError(f"unconnected registers: {names}")
+        if self._pending_forwards:
+            names = [name for name, _ in self._pending_forwards]
+            raise NetlistError(f"unresolved forwards: {names}")
+        self.circuit.validate()
+        return self.circuit
+
+
+def _make_flop(name, d, q, path, en, rst, init):
+    from .netlist import Flop
+    return Flop(name=name, d=d, q=q, path=path, en=en, rst=rst, init=init)

@@ -1,0 +1,141 @@
+"""Reusable structural generators (adders, counters, decoders, muxes).
+
+These produce plain gate networks through the builder DSL, so everything
+they generate is visible to the sensible-zone extractor and the fault
+injector exactly like hand-written logic.
+"""
+
+from __future__ import annotations
+
+from .builder import Module, Vec
+from .netlist import NetlistError
+
+
+def full_adder(m: Module, a: Vec, b: Vec, cin: Vec) -> tuple[Vec, Vec]:
+    """1-bit full adder; returns (sum, carry_out)."""
+    axb = a ^ b
+    s = axb ^ cin
+    carry = (a & b) | (axb & cin)
+    return s, carry
+
+
+def ripple_add(m: Module, a: Vec, b: Vec,
+               cin: Vec | None = None) -> tuple[Vec, Vec]:
+    """Ripple-carry adder; returns (sum, carry_out)."""
+    if len(a) != len(b):
+        raise NetlistError("ripple_add: width mismatch")
+    carry = cin if cin is not None else m.const(0)
+    bits = []
+    for i in range(len(a)):
+        s, carry = full_adder(m, a[i], b[i], carry)
+        bits.append(s)
+    return m.cat(*bits), carry
+
+
+def increment(m: Module, a: Vec) -> tuple[Vec, Vec]:
+    """a + 1 with a half-adder chain; returns (sum, carry_out)."""
+    carry = m.const(1)
+    bits = []
+    for i in range(len(a)):
+        bits.append(a[i] ^ carry)
+        carry = a[i] & carry
+    return m.cat(*bits), carry
+
+
+def counter(m: Module, name: str, width: int, en: Vec | None = None,
+            rst: Vec | None = None, wrap_at: int | None = None) -> Vec:
+    """A free-running (or enabled) counter register.
+
+    If ``wrap_at`` is given the counter resets to 0 after reaching
+    ``wrap_at - 1``; otherwise it wraps naturally at 2**width.
+    """
+    q = m.declare_reg(name, width, en=en, rst=rst, init=0)
+    nxt, _ = increment(m, q)
+    if wrap_at is not None and wrap_at != (1 << width):
+        at_top = equals_const(m, q, wrap_at - 1)
+        nxt = m.mux(at_top, m.const(0, width), nxt)
+    m.connect_reg(q, nxt)
+    return q
+
+
+def equals_const(m: Module, v: Vec, value: int) -> Vec:
+    """1-bit signal asserted when vector equals a constant."""
+    terms = []
+    for i in range(len(v)):
+        bit = v[i]
+        terms.append(bit if (value >> i) & 1 else ~bit)
+    return m.cat(*terms).reduce_and()
+
+
+def decoder(m: Module, sel: Vec, n: int | None = None) -> Vec:
+    """Binary to one-hot decoder with ``n`` outputs."""
+    n = n if n is not None else (1 << len(sel))
+    outs = [equals_const(m, sel, i) for i in range(n)]
+    return m.cat(*outs)
+
+
+def mux_many(m: Module, sel: Vec, options: list[Vec]) -> Vec:
+    """Select one of ``options`` (power-of-two padded mux tree)."""
+    if not options:
+        raise NetlistError("mux_many: no options")
+    options = list(options)
+    level = 0
+    while len(options) > 1:
+        nxt = []
+        bit = sel[level]
+        for i in range(0, len(options) - 1, 2):
+            nxt.append(m.mux(bit, options[i + 1], options[i]))
+        if len(options) % 2:
+            nxt.append(options[-1])
+        options = nxt
+        level += 1
+    return options[0]
+
+
+def onehot_mux(m: Module, selects: list[Vec], options: list[Vec]) -> Vec:
+    """OR of option vectors gated by one-hot selects."""
+    if len(selects) != len(options):
+        raise NetlistError("onehot_mux: select/option count mismatch")
+    acc = None
+    for sel, opt in zip(selects, options):
+        gated = opt & sel.repeat(len(opt))
+        acc = gated if acc is None else (acc | gated)
+    return acc
+
+
+def priority_encoder(m: Module, requests: Vec) -> tuple[Vec, Vec]:
+    """Lowest-index priority encoder; returns (index, valid)."""
+    n = len(requests)
+    width = max(1, (n - 1).bit_length())
+    taken = m.const(0)
+    index = m.const(0, width)
+    for i in range(n):
+        grant = requests[i] & ~taken
+        index = m.mux(grant, m.const(i, width), index)
+        taken = taken | requests[i]
+    return index, taken
+
+
+def less_than_const(m: Module, v: Vec, value: int) -> Vec:
+    """1-bit signal asserted when unsigned vector < constant."""
+    # Walk from MSB: v < c iff at the first differing bit c has 1, v has 0.
+    lt = m.const(0)
+    eq = m.const(1)
+    for i in reversed(range(len(v))):
+        cbit = (value >> i) & 1
+        if cbit:
+            lt = lt | (eq & ~v[i])
+        else:
+            eq = eq & ~v[i]
+            continue
+        eq = eq & v[i]
+    return lt
+
+
+def register_chain(m: Module, name: str, d: Vec, stages: int,
+                   en: Vec | None = None, rst: Vec | None = None) -> Vec:
+    """A pipeline of ``stages`` registers; returns the final stage."""
+    cur = d
+    for s in range(stages):
+        cur = m.reg(f"{name}_s{s}", cur, en=en, rst=rst)
+    return cur

@@ -1,0 +1,217 @@
+"""Structural Verilog writer and parser for the netlist IR.
+
+The paper's extraction tool works on netlists synthesized by commercial
+EDA tools.  This module provides the interchange point: any circuit
+built with the DSL is dumped as flat structural Verilog in the style of
+a synthesis netlist (sanitized ``n<id>`` wires, primitive cells, DFF
+cells with parameters), and such a netlist can be read back into the IR.
+Original hierarchical names are preserved through trailing comments so a
+re-parsed circuit yields the same sensible zones as the original.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .netlist import (
+    Circuit,
+    Flop,
+    NetlistError,
+    OP_ARITY,
+    OP_BY_NAME,
+    OP_NAMES,
+)
+
+_PRIMS = {"buf": "BUF", "not": "INV", "and": "AND2", "or": "OR2",
+          "xor": "XOR2", "nand": "NAND2", "nor": "NOR2", "xnor": "XNOR2",
+          "mux": "MUX2", "const0": "TIE0", "const1": "TIE1"}
+_PRIMS_REV = {v: k for k, v in _PRIMS.items()}
+
+
+def write_verilog(circuit: Circuit) -> str:
+    """Emit the circuit as a flat structural Verilog module."""
+    out: list[str] = []
+    ports = ["clk"] + list(circuit.inputs) + list(circuit.outputs)
+    out.append(f"module {circuit.name} ({', '.join(ports)});")
+    out.append("  input clk;")
+    for name, nets in circuit.inputs.items():
+        rng = f"[{len(nets) - 1}:0] " if len(nets) > 1 else ""
+        out.append(f"  input {rng}{name};")
+    for name, nets in circuit.outputs.items():
+        rng = f"[{len(nets) - 1}:0] " if len(nets) > 1 else ""
+        out.append(f"  output {rng}{name};")
+
+    for net, name in enumerate(circuit.net_names):
+        out.append(f"  wire n{net}; // {name}")
+
+    for name, nets in circuit.inputs.items():
+        for bit, net in enumerate(nets):
+            sel = f"{name}[{bit}]" if len(nets) > 1 else name
+            out.append(f"  assign n{net} = {sel};")
+    for name, nets in circuit.outputs.items():
+        for bit, net in enumerate(nets):
+            sel = f"{name}[{bit}]" if len(nets) > 1 else name
+            out.append(f"  assign {sel} = n{net};")
+
+    for i, gate in enumerate(circuit.gates):
+        cell = _PRIMS[OP_NAMES[gate.op]]
+        pins = ", ".join(f"n{n}" for n in (gate.out, *gate.inputs))
+        tail = f" // path: {gate.path}" if gate.path else ""
+        out.append(f"  {cell} g{i} ({pins});{tail}")
+
+    for i, flop in enumerate(circuit.flops):
+        cell = "DFF"
+        pins = [f"n{flop.q}", f"n{flop.d}"]
+        if flop.en is not None:
+            cell += "E"
+            pins.append(f"n{flop.en}")
+        if flop.rst is not None:
+            cell += "R"
+            pins.append(f"n{flop.rst}")
+        out.append(f"  {cell} #(.INIT({flop.init})) f{i} "
+                   f"(clk, {', '.join(pins)}); // {flop.name}")
+
+    for mem in circuit.memories:
+        addr = " ".join(f"n{n}" for n in mem.addr)
+        wdat = " ".join(f"n{n}" for n in mem.wdata)
+        rdat = " ".join(f"n{n}" for n in mem.rdata)
+        out.append(f"  // MEM {mem.name} depth={mem.depth} "
+                   f"width={mem.width} we=n{mem.we}")
+        out.append(f"  // MEM.addr {addr}")
+        out.append(f"  // MEM.wdata {wdat}")
+        out.append(f"  // MEM.rdata {rdat}")
+    out.append("endmodule")
+    return "\n".join(out) + "\n"
+
+
+_WIRE_RE = re.compile(r"^\s*wire\s+n(\d+);\s*//\s*(.*)$")
+_PORT_RE = re.compile(
+    r"^\s*(input|output)\s+(?:\[(\d+):0\]\s+)?(\w+);\s*$")
+_ASSIGN_RE = re.compile(
+    r"^\s*assign\s+(\S+)\s*=\s*(\S+)\s*;\s*$")
+_INST_RE = re.compile(
+    r"^\s*(\w+)\s+(?:#\(\.INIT\((\d)\)\)\s+)?\w+\s*\(([^)]*)\)\s*;"
+    r"(?:\s*//\s*(.*))?$")
+_MEM_RE = re.compile(
+    r"^\s*//\s*MEM\s+(\S+)\s+depth=(\d+)\s+width=(\d+)\s+we=n(\d+)\s*$")
+_MEMPINS_RE = re.compile(r"^\s*//\s*MEM\.(addr|wdata|rdata)\s+(.*)$")
+
+
+def parse_verilog(text: str) -> Circuit:
+    """Parse the structural subset produced by :func:`write_verilog`."""
+    circuit: Circuit | None = None
+    names: dict[int, str] = {}
+    port_widths: dict[str, tuple[str, int]] = {}
+    assigns: list[tuple[str, str]] = []
+    pending_mem: dict | None = None
+
+    lines = text.splitlines()
+    max_net = -1
+    for line in lines:
+        m = _WIRE_RE.match(line)
+        if m:
+            net = int(m.group(1))
+            names[net] = m.group(2).strip()
+            max_net = max(max_net, net)
+
+    for line in lines:
+        stripped = line.strip()
+        if stripped.startswith("module"):
+            modname = stripped.split()[1].split("(")[0]
+            circuit = Circuit(modname)
+            for net in range(max_net + 1):
+                circuit.new_net(names.get(net, f"n{net}"))
+            continue
+        if circuit is None:
+            continue
+        m = _PORT_RE.match(line)
+        if m:
+            direction, msb, name = m.groups()
+            if name != "clk":
+                port_widths[name] = (direction, int(msb or 0) + 1)
+            continue
+        m = _ASSIGN_RE.match(line)
+        if m:
+            assigns.append((m.group(1), m.group(2)))
+            continue
+        m = _MEM_RE.match(line)
+        if m:
+            pending_mem = {"name": m.group(1), "depth": int(m.group(2)),
+                           "width": int(m.group(3)), "we": int(m.group(4))}
+            continue
+        m = _MEMPINS_RE.match(line)
+        if m and pending_mem is not None:
+            nets = tuple(int(tok[1:]) for tok in m.group(2).split())
+            pending_mem[m.group(1)] = nets
+            if all(k in pending_mem for k in ("addr", "wdata", "rdata")):
+                name = pending_mem["name"]
+                path = name.rsplit("/", 1)[0] if "/" in name else ""
+                from .netlist import MemoryBlock
+                circuit.memories.append(MemoryBlock(
+                    name=name, depth=pending_mem["depth"],
+                    width=pending_mem["width"],
+                    addr=pending_mem["addr"],
+                    wdata=pending_mem["wdata"],
+                    we=pending_mem["we"], rdata=pending_mem["rdata"],
+                    path=path))
+                pending_mem = None
+            continue
+        m = _INST_RE.match(line)
+        if m:
+            cell, init, pins_txt, comment = m.groups()
+            pins = [p.strip() for p in pins_txt.split(",") if p.strip()]
+            if cell in _PRIMS_REV:
+                op = OP_BY_NAME[_PRIMS_REV[cell]]
+                nets = [int(p[1:]) for p in pins]
+                if len(nets) - 1 != OP_ARITY[op]:
+                    raise NetlistError(f"bad arity: {line!r}")
+                path = ""
+                if comment and comment.startswith("path:"):
+                    path = comment[len("path:"):].strip()
+                circuit.add_gate(op, nets[1:], nets[0], path)
+            elif cell.startswith("DFF"):
+                rest = [int(p[1:]) for p in pins[1:]]  # skip clk
+                q, d = rest[0], rest[1]
+                extra = rest[2:]
+                en = extra.pop(0) if "E" in cell[3:] else None
+                rst = extra.pop(0) if "R" in cell[3:] else None
+                fname = (comment or names.get(q, f"n{q}")).strip()
+                fpath = fname.rsplit("/", 1)[0] if "/" in fname else ""
+                circuit.flops.append(Flop(
+                    name=fname, d=d, q=q, path=fpath, en=en, rst=rst,
+                    init=int(init or 0)))
+
+    if circuit is None:
+        raise NetlistError("no module found")
+
+    for lhs, rhs in assigns:
+        if lhs.startswith("n") and lhs[1:].isdigit():
+            port, bit = _split_index(rhs)
+            _set_port_bit(circuit.inputs, port, bit, int(lhs[1:]),
+                          port_widths)
+        elif rhs.startswith("n") and rhs[1:].isdigit():
+            port, bit = _split_index(lhs)
+            _set_port_bit(circuit.outputs, port, bit, int(rhs[1:]),
+                          port_widths)
+    return circuit
+
+
+def _split_index(token: str) -> tuple[str, int]:
+    m = re.match(r"^(\w+)\[(\d+)\]$", token)
+    if m:
+        return m.group(1), int(m.group(2))
+    return token, 0
+
+
+def _set_port_bit(table: dict[str, list[int]], port: str, bit: int,
+                  net: int, port_widths) -> None:
+    width = port_widths.get(port, (None, bit + 1))[1]
+    nets = table.setdefault(port, [-1] * width)
+    while len(nets) <= bit:
+        nets.append(-1)
+    nets[bit] = net
+
+
+def roundtrip(circuit: Circuit) -> Circuit:
+    """Write then re-parse a circuit (used in interchange tests)."""
+    return parse_verilog(write_verilog(circuit))

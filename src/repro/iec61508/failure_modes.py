@@ -1,0 +1,110 @@
+"""Failure-mode catalog per component class (IEC 61508-2 table A.1).
+
+The paper §2 quotes the faults/failures the norm requires to be detected
+during operation or analyzed in the derivation of the safe failure
+fraction.  "The basic failure modes for a given SoC can be determined
+from the tables in Appendix of IEC 61508-2" (§3) — this module encodes
+them and maps sensible-zone kinds to the right component class.
+"""
+
+from __future__ import annotations
+
+from ..zones.model import FailureMode, FaultPersistence, ZoneKind
+
+# --- variable memory ---------------------------------------------------
+VM_DC_FAULT = FailureMode(
+    "dc_fault", "DC fault model (stuck-at/stuck-open/high-impedance "
+    "and bridging) for data and addresses",
+    FaultPersistence.PERMANENT, "A.1 variable memory")
+VM_CROSSOVER = FailureMode(
+    "dynamic_crossover", "Dynamic cross-over for memory cells "
+    "(coupling between cells)",
+    FaultPersistence.PERMANENT, "A.1 variable memory")
+VM_ADDRESSING = FailureMode(
+    "addressing", "No, wrong or multiple addressing",
+    FaultPersistence.PERMANENT, "A.1 variable memory")
+VM_SOFT_ERROR = FailureMode(
+    "soft_error", "Change of information caused by soft-errors "
+    "(cosmic rays, alpha particles)",
+    FaultPersistence.TRANSIENT, "A.1 variable memory")
+
+VARIABLE_MEMORY_MODES = (VM_DC_FAULT, VM_CROSSOVER, VM_ADDRESSING,
+                         VM_SOFT_ERROR)
+
+# --- processing units / registers ---------------------------------------
+PU_DC_FAULT = FailureMode(
+    "dc_fault", "DC fault model for data and addresses of internal "
+    "registers and RAMs",
+    FaultPersistence.PERMANENT, "A.1 processing unit")
+PU_WRONG_CODING = FailureMode(
+    "wrong_coding", "Wrong coding or wrong execution, including flag "
+    "registers and instruction decoding",
+    FaultPersistence.PERMANENT, "A.1 processing unit")
+PU_CROSSOVER = FailureMode(
+    "dynamic_crossover", "Dynamic cross-over for register-file cells",
+    FaultPersistence.PERMANENT, "A.1 processing unit")
+PU_BIT_FLIP = FailureMode(
+    "bit_flip", "Soft-error bit flip of a state register",
+    FaultPersistence.TRANSIENT, "A.1 processing unit")
+
+PROCESSING_UNIT_MODES = (PU_DC_FAULT, PU_WRONG_CODING, PU_CROSSOVER,
+                         PU_BIT_FLIP)
+
+# --- I/O, bus, clock -----------------------------------------------------
+IO_DC_FAULT = FailureMode(
+    "dc_fault", "DC fault model on inputs/outputs",
+    FaultPersistence.PERMANENT, "A.1 I/O units")
+IO_DRIFT = FailureMode(
+    "drift_oscillation", "Drift and oscillation of I/O levels",
+    FaultPersistence.TRANSIENT, "A.1 I/O units")
+
+BUS_DC_FAULT = FailureMode(
+    "dc_fault", "DC fault model on the internal bus / data paths "
+    "(including address lines)",
+    FaultPersistence.PERMANENT, "A.1 data paths")
+BUS_TIME_OUT = FailureMode(
+    "no_or_continuous_transmission", "No transmission or continuous "
+    "transmission on the communication path",
+    FaultPersistence.PERMANENT, "A.1 data paths")
+NET_DISTURBANCE = FailureMode(
+    "transient_disturbance", "Crosstalk / coupling / SET glitch on a "
+    "long or high-fanout net",
+    FaultPersistence.TRANSIENT, "A.1 data paths")
+
+CLOCK_WRONG_FREQ = FailureMode(
+    "wrong_frequency", "Sub- or super-harmonic clock, stuck clock",
+    FaultPersistence.PERMANENT, "A.1 clock")
+CLOCK_JITTER = FailureMode(
+    "jitter", "Period jitter outside tolerance",
+    FaultPersistence.TRANSIENT, "A.1 clock")
+
+IO_MODES = (IO_DC_FAULT, IO_DRIFT)
+BUS_MODES = (BUS_DC_FAULT, BUS_TIME_OUT)
+CLOCK_MODES = (CLOCK_WRONG_FREQ, CLOCK_JITTER)
+
+
+_BY_ZONE_KIND: dict[ZoneKind, tuple[FailureMode, ...]] = {
+    ZoneKind.MEMORY: VARIABLE_MEMORY_MODES,
+    ZoneKind.REGISTER: PROCESSING_UNIT_MODES,
+    ZoneKind.LOGICAL: (PU_WRONG_CODING, PU_BIT_FLIP),
+    ZoneKind.PRIMARY_INPUT: IO_MODES,
+    ZoneKind.PRIMARY_OUTPUT: IO_MODES,
+    ZoneKind.CRITICAL_NET: (BUS_DC_FAULT, CLOCK_WRONG_FREQ,
+                            NET_DISTURBANCE),
+    ZoneKind.SUBBLOCK: (PU_DC_FAULT, PU_WRONG_CODING, PU_BIT_FLIP),
+}
+
+
+def failure_modes_for(kind: ZoneKind) -> tuple[FailureMode, ...]:
+    """IEC failure modes applicable to a zone kind."""
+    return _BY_ZONE_KIND[kind]
+
+
+def transient_modes(kind: ZoneKind) -> tuple[FailureMode, ...]:
+    return tuple(fm for fm in failure_modes_for(kind)
+                 if fm.persistence is FaultPersistence.TRANSIENT)
+
+
+def permanent_modes(kind: ZoneKind) -> tuple[FailureMode, ...]:
+    return tuple(fm for fm in failure_modes_for(kind)
+                 if fm.persistence is FaultPersistence.PERMANENT)

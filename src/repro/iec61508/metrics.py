@@ -1,0 +1,107 @@
+"""λ-algebra of IEC 61508: safe/dangerous rates, DC and SFF.
+
+The two headline formulas (paper §4)::
+
+    DC  = λDD / λD
+    SFF = (λS + λDD) / (λS + λD)        with λD = λDD + λDU
+
+Rates are carried in FIT (failures per 10^9 hours) throughout the FMEA
+and converted to per-hour only for PFH checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+FIT_PER_HOUR = 1e-9
+
+
+@dataclass
+class FailureRates:
+    """A bundle of failure rates, in FIT.
+
+    ``lambda_s``: safe failures (no potential for a hazardous or
+    fail-to-function state); ``lambda_dd``: dangerous detected;
+    ``lambda_du``: dangerous undetected.
+    """
+
+    lambda_s: float = 0.0
+    lambda_dd: float = 0.0
+    lambda_du: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def lambda_d(self) -> float:
+        return self.lambda_dd + self.lambda_du
+
+    @property
+    def total(self) -> float:
+        return self.lambda_s + self.lambda_d
+
+    @property
+    def dc(self) -> float:
+        """Diagnostic coverage λDD/λD (1.0 when there is nothing
+        dangerous to detect)."""
+        d = self.lambda_d
+        return self.lambda_dd / d if d > 0 else 1.0
+
+    @property
+    def sff(self) -> float:
+        """Safe failure fraction (1.0 for an empty bundle)."""
+        t = self.total
+        return (self.lambda_s + self.lambda_dd) / t if t > 0 else 1.0
+
+    @property
+    def du_per_hour(self) -> float:
+        return self.lambda_du * FIT_PER_HOUR
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "FailureRates") -> "FailureRates":
+        return FailureRates(self.lambda_s + other.lambda_s,
+                            self.lambda_dd + other.lambda_dd,
+                            self.lambda_du + other.lambda_du)
+
+    def scaled(self, factor: float) -> "FailureRates":
+        return FailureRates(self.lambda_s * factor,
+                            self.lambda_dd * factor,
+                            self.lambda_du * factor)
+
+    @classmethod
+    def split(cls, total: float, safe_fraction: float,
+              dc: float) -> "FailureRates":
+        """Split a raw rate by S factor then by diagnostic coverage.
+
+        ``safe_fraction`` is the paper's S factor (D = 1 - S); ``dc`` is
+        the claimed detected-dangerous fraction for the failure mode.
+        """
+        if not 0.0 <= safe_fraction <= 1.0:
+            raise ValueError("safe fraction must be within [0, 1]")
+        if not 0.0 <= dc <= 1.0:
+            raise ValueError("DC must be within [0, 1]")
+        dangerous = total * (1.0 - safe_fraction)
+        return cls(lambda_s=total * safe_fraction,
+                   lambda_dd=dangerous * dc,
+                   lambda_du=dangerous * (1.0 - dc))
+
+    @classmethod
+    def sum(cls, items) -> "FailureRates":
+        acc = cls()
+        for item in items:
+            acc = acc + item
+        return acc
+
+    def as_dict(self) -> dict[str, float]:
+        return {"lambda_s": self.lambda_s, "lambda_dd": self.lambda_dd,
+                "lambda_du": self.lambda_du, "lambda_d": self.lambda_d,
+                "total": self.total, "dc": self.dc, "sff": self.sff}
+
+
+def diagnostic_coverage(lambda_dd: float, lambda_du: float) -> float:
+    d = lambda_dd + lambda_du
+    return lambda_dd / d if d > 0 else 1.0
+
+
+def safe_failure_fraction(lambda_s: float, lambda_dd: float,
+                          lambda_du: float) -> float:
+    total = lambda_s + lambda_dd + lambda_du
+    return (lambda_s + lambda_dd) / total if total > 0 else 1.0

@@ -1,0 +1,120 @@
+"""Safety Requirements Specification artifacts and compliance checks.
+
+IEC 61508 "specifies as well which kind of documentation and design flow
+should be followed, such as the release of a Safety Requirements
+Specification (SRS) including a detailed FMEA" (paper §2).  This module
+models the SRS as a structured object that collects the safety target,
+the FMEA result and the validation evidence, and checks the whole bundle
+for compliance — the programmatic equivalent of what TÜV-SÜD assessed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .sil import PFH_TARGETS, SIL, max_sil, pfh_meets, required_sff
+
+
+@dataclass
+class ComplianceIssue:
+    """One failed compliance check."""
+
+    requirement: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.requirement}] {self.detail}"
+
+
+@dataclass
+class ComplianceReport:
+    """Outcome of an SRS compliance assessment."""
+
+    target_sil: SIL
+    achieved_sil: SIL | None
+    sff: float
+    issues: list[ComplianceIssue] = field(default_factory=list)
+
+    @property
+    def compliant(self) -> bool:
+        return not self.issues
+
+    def summary(self) -> str:
+        status = "COMPLIANT" if self.compliant else "NOT COMPLIANT"
+        achieved = self.achieved_sil.name if self.achieved_sil \
+            else "none"
+        lines = [f"SRS assessment: {status}",
+                 f"  target {self.target_sil.name}, achieved {achieved}, "
+                 f"SFF {self.sff * 100:.2f}%"]
+        lines.extend(f"  - {issue}" for issue in self.issues)
+        return "\n".join(lines)
+
+
+class SafetyRequirementsSpecification:
+    """The SRS bundle for a SoC sub-system.
+
+    ``fmea`` is a :class:`repro.fmea.FmeaWorksheet`; ``validation`` a
+    :class:`repro.faultinjection.validation.ValidationReport` (both
+    duck-typed here to avoid circular imports).
+    """
+
+    def __init__(self, name: str, target_sil: SIL, hft: int = 0,
+                 type_b: bool = True, fmea=None, validation=None,
+                 toggle_report=None, notes: str = ""):
+        self.name = name
+        self.target_sil = target_sil
+        self.hft = hft
+        self.type_b = type_b
+        self.fmea = fmea
+        self.validation = validation
+        self.toggle_report = toggle_report
+        self.notes = notes
+
+    # ------------------------------------------------------------------
+    def required_sff(self) -> float:
+        return required_sff(self.target_sil, self.hft, self.type_b)
+
+    def assess(self) -> ComplianceReport:
+        """Run all compliance checks against the attached evidence."""
+        issues: list[ComplianceIssue] = []
+
+        if self.fmea is None:
+            issues.append(ComplianceIssue(
+                "FMEA", "no FMEA attached: the SRS must include a "
+                "detailed FMEA of the sub-system"))
+            return ComplianceReport(self.target_sil, None, 0.0, issues)
+
+        rates = self.fmea.totals()
+        sff = rates.sff
+        achieved = max_sil(sff, self.hft, self.type_b)
+
+        if achieved is None or achieved < self.target_sil:
+            issues.append(ComplianceIssue(
+                "SFF", f"SFF {sff * 100:.2f}% grants "
+                f"{achieved.name if achieved else 'no SIL'} at "
+                f"HFT={self.hft}; {self.target_sil.name} needs "
+                f">= {self.required_sff() * 100:.0f}%"))
+
+        # random-hardware-failure target: λDU against the PFH band of
+        # the target SIL (high-demand / continuous mode)
+        if not pfh_meets(self.target_sil, rates.du_per_hour):
+            issues.append(ComplianceIssue(
+                "PFH", f"dangerous-undetected rate "
+                f"{rates.du_per_hour:.3e}/h exceeds the "
+                f"{self.target_sil.name} band "
+                f"(< {PFH_TARGETS[self.target_sil].high:g}/h)"))
+
+        if self.validation is None:
+            issues.append(ComplianceIssue(
+                "validation", "FMEA has not been validated by fault "
+                "injection (IEC 61508 recommends fault injection)"))
+        elif not self.validation.passed:
+            issues.append(ComplianceIssue(
+                "validation", "fault-injection validation failed: "
+                + "; ".join(self.validation.failures)))
+
+        if self.toggle_report is not None and not self.toggle_report.passed:
+            issues.append(ComplianceIssue(
+                "workload", self.toggle_report.summary()))
+
+        return ComplianceReport(self.target_sil, achieved, sff, issues)

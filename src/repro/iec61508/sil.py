@@ -1,0 +1,123 @@
+"""Safety Integrity Levels and the SFF/HFT architectural constraints.
+
+IEC 61508 grants a hardware safety integrity level to a subsystem based
+on its Safe Failure Fraction and its Hardware Fault Tolerance
+(IEC 61508-2 tables 2 and 3).  The paper quotes the two rows it uses:
+"With a HFT equal to zero, a SFF equal or greater than 99% is required
+in order that the system or component can be granted with SIL3.  With a
+HFT equal to one, the SFF should be greater than 90%."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class SIL(IntEnum):
+    """Safety integrity level; SIL4 is the highest."""
+
+    SIL1 = 1
+    SIL2 = 2
+    SIL3 = 3
+    SIL4 = 4
+
+
+# SFF bands used by the architectural-constraint tables.
+SFF_BANDS = ((0.0, 0.60), (0.60, 0.90), (0.90, 0.99), (0.99, 1.01))
+
+# Type A subsystems: failure modes well defined, behaviour under fault
+# conditions completely determined (simple devices).
+_TYPE_A = (
+    (SIL.SIL1, SIL.SIL2, SIL.SIL3),   # SFF < 60%
+    (SIL.SIL2, SIL.SIL3, SIL.SIL4),   # 60% - 90%
+    (SIL.SIL3, SIL.SIL4, SIL.SIL4),   # 90% - 99%
+    (SIL.SIL3, SIL.SIL4, SIL.SIL4),   # >= 99%
+)
+
+# Type B subsystems: complex components (CPUs, SoCs...) — this is the
+# table that applies to the paper's memory sub-system.
+_TYPE_B = (
+    (None, SIL.SIL1, SIL.SIL2),       # SFF < 60%
+    (SIL.SIL1, SIL.SIL2, SIL.SIL3),   # 60% - 90%
+    (SIL.SIL2, SIL.SIL3, SIL.SIL4),   # 90% - 99%
+    (SIL.SIL3, SIL.SIL4, SIL.SIL4),   # >= 99%
+)
+
+
+def sff_band(sff: float) -> int:
+    """Index of the SFF band containing ``sff`` (0..3)."""
+    if not 0.0 <= sff <= 1.0:
+        raise ValueError(f"SFF must be within [0, 1], got {sff}")
+    for i, (lo, hi) in enumerate(SFF_BANDS):
+        if lo <= sff < hi:
+            return i
+    return len(SFF_BANDS) - 1
+
+
+def max_sil(sff: float, hft: int, type_b: bool = True) -> SIL | None:
+    """Highest SIL claimable for a subsystem (None: not allowed).
+
+    ``hft`` is the hardware fault tolerance: N means N+1 faults could
+    cause a loss of the safety function.
+    """
+    if hft < 0:
+        raise ValueError("HFT cannot be negative")
+    table = _TYPE_B if type_b else _TYPE_A
+    col = min(hft, 2)
+    return table[sff_band(sff)][col]
+
+
+def required_sff(target: SIL, hft: int, type_b: bool = True) -> float:
+    """Minimum SFF granting ``target`` at the given HFT (lower band edge).
+
+    Raises :class:`ValueError` when the target cannot be reached at any
+    SFF with this HFT.
+    """
+    table = _TYPE_B if type_b else _TYPE_A
+    col = min(max(hft, 0), 2)
+    for band, row in enumerate(table):
+        granted = row[col]
+        if granted is not None and granted >= target:
+            return SFF_BANDS[band][0]
+    raise ValueError(
+        f"{target.name} not achievable at HFT={hft} for "
+        f"type {'B' if type_b else 'A'} subsystems")
+
+
+@dataclass(frozen=True)
+class PfhTarget:
+    """Target failure-measure band for high-demand/continuous mode."""
+
+    sil: SIL
+    low: float   # failures per hour, inclusive lower bound
+    high: float  # exclusive upper bound
+
+
+# IEC 61508-1 table 3: PFH bands for high demand / continuous mode.
+PFH_TARGETS = {
+    SIL.SIL1: PfhTarget(SIL.SIL1, 1e-6, 1e-5),
+    SIL.SIL2: PfhTarget(SIL.SIL2, 1e-7, 1e-6),
+    SIL.SIL3: PfhTarget(SIL.SIL3, 1e-8, 1e-7),
+    SIL.SIL4: PfhTarget(SIL.SIL4, 1e-9, 1e-8),
+}
+
+
+def pfh_meets(sil: SIL, dangerous_undetected_per_hour: float) -> bool:
+    """True when λDU satisfies the PFH band of ``sil``."""
+    return dangerous_undetected_per_hour < PFH_TARGETS[sil].high
+
+
+def architecture_table(type_b: bool = True):
+    """The full SFF/HFT table as rows of (band, [HFT0, HFT1, HFT2]).
+
+    Used by the T-A benchmark to print the norm's table next to the
+    paper's quoted thresholds.
+    """
+    table = _TYPE_B if type_b else _TYPE_A
+    rows = []
+    labels = ("SFF < 60%", "60% <= SFF < 90%", "90% <= SFF < 99%",
+              "SFF >= 99%")
+    for label, row in zip(labels, table):
+        rows.append((label, [s.name if s else "not allowed" for s in row]))
+    return rows

@@ -1,0 +1,6 @@
+"""Report rendering helpers."""
+
+from .tables import pct, render_kv, render_table
+from .dossier import build_dossier
+
+__all__ = ["pct", "render_kv", "render_table", "build_dossier"]

@@ -1,0 +1,83 @@
+"""The certification dossier: one text bundle with all the evidence.
+
+Assembles what the paper's flow hands to the assessor (TÜV-SÜD in the
+paper's case): design inventory, sensible-zone census, the FMEA with
+criticality ranking, claimed-vs-measured validation results, coverage
+ledger, sensitivity analysis and the SIL verdict.
+"""
+
+from __future__ import annotations
+
+from ..iec61508.sil import SIL, max_sil, required_sff
+from .tables import pct, render_kv
+
+RULE = "=" * 70
+
+
+def build_dossier(name: str, subsystem, zone_set, worksheet,
+                  validation=None, target_sil: SIL = SIL.SIL3,
+                  hft: int = 0) -> str:
+    """Return the full dossier text."""
+    # imported here: fmea.report itself renders with reporting.tables
+    from ..fmea.report import criticality_report, summary_report, \
+        validation_report
+    from ..fmea.sensitivity import stability_report
+    parts: list[str] = []
+    parts.append(RULE)
+    parts.append(f"SAFETY DOSSIER — {name}")
+    parts.append(RULE)
+
+    # 1. design inventory
+    stats = subsystem.circuit.stats()
+    parts.append(render_kv(sorted(stats.items()),
+                           title="\n1. design inventory"))
+
+    # 2. sensible zones
+    parts.append(render_kv(sorted(zone_set.summary().items()),
+                           title="\n2. sensible-zone census (§3)"))
+    if zone_set.correlation is not None:
+        parts.append(f"   shared-logic (wide-fault) gates: "
+                     f"{zone_set.correlation.wide_gate_count}")
+
+    # 3. the FMEA
+    parts.append("\n3. FMEA (§3-4)")
+    parts.append(summary_report(worksheet, hft=hft))
+    parts.append("")
+    parts.append(criticality_report(worksheet, top=12))
+
+    # 4. validation evidence
+    parts.append("\n4. validation (§5)")
+    if validation is None:
+        parts.append("   NOT RUN — the dossier is incomplete without "
+                     "fault-injection evidence")
+    else:
+        parts.append(validation.summary())
+        if validation.coverage is not None:
+            parts.append(validation.coverage.report())
+        measured = validation_report(worksheet)
+        if not measured.startswith("no injection"):
+            parts.append(measured)
+
+    # 5. sensitivity
+    parts.append("\n5. sensitivity of the result (§4)")
+    stability = stability_report(worksheet)
+    parts.append(stability.summary())
+
+    # 6. verdict
+    totals = worksheet.totals()
+    granted = max_sil(totals.sff, hft)
+    needed = required_sff(target_sil, hft)
+    ok = granted is not None and granted >= target_sil
+    validated = validation is not None and validation.passed
+    parts.append(f"\n6. verdict")
+    parts.append(render_kv([
+        ("target", f"{target_sil.name} @ HFT={hft} "
+                   f"(needs SFF >= {pct(needed, 0)})"),
+        ("achieved SFF", pct(totals.sff)),
+        ("granted", granted.name if granted else "none"),
+        ("validated by injection", "yes" if validated else "NO"),
+        ("dossier conclusion",
+         "COMPLIANT" if ok and validated else "NOT COMPLIANT"),
+    ]))
+    parts.append(RULE)
+    return "\n".join(parts)

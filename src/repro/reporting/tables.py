@@ -1,0 +1,41 @@
+"""Minimal ASCII table renderer used by all report modules."""
+
+from __future__ import annotations
+
+
+def render_table(headers: list[str], rows: list[list],
+                 title: str | None = None) -> str:
+    """Render a fixed-width ASCII table; cells are str()'d."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(items):
+        return "| " + " | ".join(item.ljust(w)
+                                 for item, w in zip(items, widths)) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(headers))
+    out.append(sep)
+    out.extend(line(row) for row in cells)
+    out.append(sep)
+    return "\n".join(out)
+
+
+def render_kv(pairs: list[tuple[str, object]],
+              title: str | None = None) -> str:
+    """Render key/value pairs aligned on the colon."""
+    width = max((len(k) for k, _ in pairs), default=0)
+    out = [title] if title else []
+    out.extend(f"{k.ljust(width)} : {v}" for k, v in pairs)
+    return "\n".join(out)
+
+
+def pct(x: float, digits: int = 2) -> str:
+    return f"{x * 100:.{digits}f}%"

@@ -1,0 +1,33 @@
+"""The §6 case study: a fault-robust memory sub-system (F-MEM + MCE)."""
+
+from .config import SubsystemConfig
+from .subsystem import MemorySubsystem, build_subsystem, \
+    make_diagnostic_plan
+from .ahb import READ_LATENCY, WRITE_GAP, AhbMaster, ReadResult
+from .minicpu import CpuConfig, MiniCpu, assemble, build_minicpu
+from .dualchannel import DualChannelSubsystem, build_dual_channel, \
+    make_dual_plan
+from .workloads import (
+    Workload,
+    address_decoder_test,
+    app_profile,
+    error_selftest,
+    march_test,
+    mpu_probe,
+    random_traffic,
+    scrub_exercise,
+    startup_bist,
+    validation_workload,
+)
+
+__all__ = [
+    "SubsystemConfig", "MemorySubsystem", "build_subsystem",
+    "make_diagnostic_plan",
+    "AhbMaster", "ReadResult", "READ_LATENCY", "WRITE_GAP",
+    "CpuConfig", "MiniCpu", "assemble", "build_minicpu",
+    "DualChannelSubsystem", "build_dual_channel", "make_dual_plan",
+    "Workload", "address_decoder_test", "app_profile", "error_selftest",
+    "march_test", "mpu_probe",
+    "random_traffic", "scrub_exercise", "startup_bist",
+    "validation_workload",
+]

@@ -1,0 +1,382 @@
+"""F-MEM: coder, two-stage pipelined decoder, write buffer, scrubbing.
+
+§6: "it interfaces the memory array and it hosts the coder/decoder and
+a scrubbing feature, as also the controller to generate the
+corresponding alarms."
+
+The decoder is deliberately built in two stages around the pipeline
+register ("this first circuit included a write buffer and a pipeline
+stage in the decoder, in order to guarantee the timing closure"):
+
+* **stage A** (before the pipe): syndrome computation from the raw
+  memory word (plus the read address when the address is folded into
+  the ECC);
+* **pipeline register**: data field + syndrome (baseline), plus the
+  stored check bits in the improved design;
+* **stage B** (after the pipe): correction network driven by the
+  *pipelined* syndrome.
+
+This reproduces the baseline's weakness: a fault hitting the pipeline
+data field *after* the syndrome was computed corrupts the output with
+no alarm.  The improved design adds exactly the paper's counter-
+measures: (i) an error checker immediately after the coder, (ii) a
+double-redundant error checker after the pipeline stage with the
+no-error bypass mux, and (iii) a distributed syndrome-checking
+architecture discriminating data-field, check-field and addressing
+errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ecc.address import AddressedSecDed, build_address_signature
+from ..ecc.hamming import build_corrector, build_encoder
+from ..ecc.parity import build_parity
+from ..hdl.builder import Module, Vec
+from ..hdl.library import equals_const
+from .config import SubsystemConfig
+
+
+def _base_code(cfg: SubsystemConfig):
+    code = cfg.code
+    return code.base if isinstance(code, AddressedSecDed) else code
+
+
+def _addr_signature(m: Module, cfg: SubsystemConfig, addr: Vec) -> Vec | None:
+    if not cfg.address_in_ecc:
+        return None
+    return build_address_signature(m, addr, cfg.code)
+
+
+# ----------------------------------------------------------------------
+# coder (write path)
+# ----------------------------------------------------------------------
+@dataclass
+class CoderSignals:
+    check: Vec
+    alarm: Vec   # improvement (i): error checker after the coder
+
+
+def build_coder(m: Module, cfg: SubsystemConfig, data: Vec, addr: Vec,
+                encoding_now: Vec) -> CoderSignals:
+    """Check-bit generation, optionally self-checked (improvement i)."""
+    base = _base_code(cfg)
+    with m.scope("fmem/coder"):
+        check = build_encoder(m, data, base)
+        sig = _addr_signature(m, cfg, addr)
+        if sig is not None:
+            check = check ^ sig
+
+    if cfg.coder_checker:
+        # "an error checker was added immediately after the code
+        # generator section of the decoder, in order to cover also the
+        # errors in such coder" — an independent second network.
+        with m.scope("fmem/coder_check"):
+            check_b = build_encoder(m, data, base)
+            sig_b = _addr_signature(m, cfg, addr)
+            if sig_b is not None:
+                check_b = check_b ^ sig_b
+            alarm = (check.ne(check_b) & encoding_now).named("alarm")
+    else:
+        alarm = m.const(0)
+    return CoderSignals(check=check, alarm=alarm)
+
+
+# ----------------------------------------------------------------------
+# write buffer
+# ----------------------------------------------------------------------
+@dataclass
+class WriteBufferSignals:
+    valid: Vec        # q of the valid flag (declared by caller)
+    addr: Vec
+    word: Vec         # {check, data} as stored in the array
+    alarm_parity: Vec
+
+
+def build_write_buffer(m: Module, cfg: SubsystemConfig, data: Vec,
+                       check: Vec, addr: Vec, capture: Vec,
+                       drain_gate: Vec, valid_q: Vec, rst: Vec,
+                       err_inject: Vec | None = None
+                       ) -> WriteBufferSignals:
+    """One-deep write buffer, parity-protected in the improved design.
+
+    ``valid_q`` must be a 1-bit register previously created with
+    :meth:`Module.declare_reg`; this function connects its next-state
+    logic (``capture`` sets it, a drain — ``valid & drain_gate`` —
+    clears it).
+
+    ``err_inject`` is the diagnostic self-test mask: it is XORed into
+    the stored word *after* the parity and coder checkers, so software
+    can plant single/double-bit errors in the array to exercise the
+    correction and alarm paths (the standard error-injection test mode
+    of safety memory IPs, and what makes the §5 workload able to toggle
+    the corrector logic).
+    """
+    with m.scope("fmem/wbuf"):
+        buf_data = m.reg("data", data, en=capture)
+        buf_check = m.reg("check", check, en=capture)
+        buf_addr = m.reg("addr", addr, en=capture)
+        m.connect_reg(valid_q, capture | (valid_q & ~drain_gate))
+        drain = valid_q & drain_gate
+
+        if cfg.write_buffer_parity:
+            payload_in = m.cat(data, check, addr)
+            par_in = build_parity(m, payload_in)
+            buf_par = m.reg("parity", par_in, en=capture)
+            payload_out = m.cat(buf_data, buf_check, buf_addr)
+            par_out = build_parity(m, payload_out)
+            alarm = (drain & (par_out ^ buf_par)).named("alarm")
+        else:
+            alarm = m.const(0)
+
+        word = m.cat(buf_data, buf_check)
+        if err_inject is not None:
+            err_reg = m.reg("err_mask", err_inject, en=capture)
+            word = word ^ err_reg
+    return WriteBufferSignals(valid=valid_q, addr=buf_addr, word=word,
+                              alarm_parity=alarm)
+
+
+# ----------------------------------------------------------------------
+# decoder (read path)
+# ----------------------------------------------------------------------
+@dataclass
+class DecoderSignals:
+    data_out: Vec
+    single: Vec           # raw corrector flags (ungated)
+    double: Vec
+    alarm_pipe: Vec       # improvement (ii)
+    alarm_synd_data: Vec  # improvement (iii): error in the data field
+    alarm_synd_check: Vec  # improvement (iii): error in the check field
+    alarm_synd_addr: Vec  # improvement (iii): addressing / multi-bit
+    synd_nonzero: Vec
+    pipe_nets: dict = field(default_factory=dict)
+
+
+def build_decoder(m: Module, cfg: SubsystemConfig, rdata: Vec,
+                  addr_stage_a: Vec, addr_stage_b: Vec,
+                  read_valid: Vec) -> DecoderSignals:
+    """Two-stage pipelined SEC-DED decoder with the §6 improvements.
+
+    ``addr_stage_a`` must be aligned with ``rdata`` (one cycle after
+    the port request); ``addr_stage_b`` with the pipeline output.
+    """
+    base = _base_code(cfg)
+    k, r = cfg.data_bits, cfg.check_bits
+    mem_data = rdata[0:k]
+    mem_check = rdata[k:k + r]
+
+    # ---- stage A: syndrome generation -------------------------------
+    with m.scope("fmem/decoder/stage_a"):
+        enc = build_encoder(m, mem_data, base)
+        synd_in = enc ^ mem_check
+        sig = _addr_signature(m, cfg, addr_stage_a)
+        if sig is not None:
+            synd_in = synd_in ^ sig
+
+    # ---- pipeline register -------------------------------------------
+    with m.scope("fmem/decoder"):
+        pipe_data = m.reg("pipe_data", mem_data)
+        pipe_synd = m.reg("pipe_synd", synd_in)
+        pipe_check = None
+        if cfg.redundant_pipe_checker:
+            pipe_check = m.reg("pipe_check", mem_check)
+
+    # ---- stage B: correction ------------------------------------------
+    with m.scope("fmem/decoder/stage_b"):
+        corrected, single, double = build_corrector(m, pipe_data,
+                                                    pipe_synd, base)
+
+    # ---- improvement (ii): redundant checkers after the pipe ----------
+    if cfg.redundant_pipe_checker:
+        with m.scope("fmem/decoder/post_check_a"):
+            enc_a = build_encoder(m, pipe_data, base)
+            post_a = enc_a ^ pipe_check
+            sig_a = _addr_signature(m, cfg, addr_stage_b)
+            if sig_a is not None:
+                post_a = post_a ^ sig_a
+        with m.scope("fmem/decoder/post_check_b"):
+            enc_b = build_encoder(m, pipe_data, base)
+            post_b = enc_b ^ pipe_check
+            sig_b = _addr_signature(m, cfg, addr_stage_b)
+            if sig_b is not None:
+                post_b = post_b ^ sig_b
+        with m.scope("fmem/decoder/post_check"):
+            disagree = post_a.ne(post_b)
+            stale = post_a.ne(pipe_synd)
+            alarm_pipe = ((disagree | stale) & read_valid).named("alarm")
+            no_err = (pipe_synd.is_zero() & post_a.is_zero()
+                      & post_b.is_zero())
+            # "in case of no errors directly connect the decoder output
+            # with the memory data"
+            data_out = m.mux(no_err, pipe_data, corrected)
+    else:
+        alarm_pipe = m.const(0)
+        data_out = corrected
+
+    # ---- improvement (iii): distributed syndrome checking -------------
+    with m.scope("fmem/decoder/synd_class"):
+        synd_nonzero = pipe_synd.reduce_or()
+        if cfg.distributed_syndrome:
+            match_data = m.const(0)
+            for col in base.columns:
+                match_data = match_data | equals_const(m, pipe_synd, col)
+            match_check = m.const(0)
+            for j in range(r):
+                match_check = match_check | equals_const(m, pipe_synd,
+                                                         1 << j)
+            other = synd_nonzero & ~match_data & ~match_check
+            alarm_synd_data = (synd_nonzero & match_data
+                               & read_valid).named("alarm_data")
+            alarm_synd_check = (synd_nonzero & match_check
+                                & read_valid).named("alarm_check")
+            alarm_synd_addr = (other & read_valid).named("alarm_addr")
+        else:
+            alarm_synd_data = m.const(0)
+            alarm_synd_check = m.const(0)
+            alarm_synd_addr = m.const(0)
+
+    return DecoderSignals(
+        data_out=data_out, single=single, double=double,
+        alarm_pipe=alarm_pipe, alarm_synd_data=alarm_synd_data,
+        alarm_synd_check=alarm_synd_check,
+        alarm_synd_addr=alarm_synd_addr, synd_nonzero=synd_nonzero)
+
+
+# ----------------------------------------------------------------------
+# scrubbing engine
+# ----------------------------------------------------------------------
+SCRUB_IDLE, SCRUB_W1, SCRUB_W2, SCRUB_WRITE = range(4)
+
+
+@dataclass
+class ScrubRegs:
+    """Declared scrubber state (connected by :func:`connect_scrubber`)."""
+
+    state: Vec
+    data: Vec
+    cur_addr: Vec
+    pending: Vec
+    pend_addr: Vec
+    scan_cnt: Vec
+    was_pending: Vec
+    in_idle: Vec
+    in_w1: Vec
+    in_w2: Vec
+    in_write: Vec
+
+
+def declare_scrubber(m: Module, cfg: SubsystemConfig,
+                     rst: Vec) -> ScrubRegs:
+    """Declare scrub state registers; usable before the decoder exists.
+
+    "The scrubbing function stores the locations where an error
+    occurred, in order to repair them when the memory isn't used by the
+    system or it can also perform a background scanning of the memory
+    for fault-forecasting."
+    """
+    with m.scope("fmem/scrub"):
+        state = m.declare_reg("state", 2, rst=rst)
+        data = m.declare_reg("data", cfg.data_bits)
+        cur_addr = m.declare_reg("cur_addr", cfg.addr_bits)
+        pending = m.declare_reg("pending", 1, rst=rst)
+        pend_addr = m.declare_reg("pend_addr", cfg.addr_bits)
+        scan_cnt = m.declare_reg("scan_cnt", cfg.addr_bits, rst=rst)
+        was_pending = m.declare_reg("was_pending", 1, rst=rst)
+        in_idle = equals_const(m, state, SCRUB_IDLE)
+        in_w1 = equals_const(m, state, SCRUB_W1)
+        in_w2 = equals_const(m, state, SCRUB_W2)
+        in_write = equals_const(m, state, SCRUB_WRITE)
+    return ScrubRegs(state=state, data=data, cur_addr=cur_addr,
+                     pending=pending, pend_addr=pend_addr,
+                     scan_cnt=scan_cnt, was_pending=was_pending,
+                     in_idle=in_idle, in_w1=in_w1, in_w2=in_w2,
+                     in_write=in_write)
+
+
+@dataclass
+class ScrubSignals:
+    read_req: Vec
+    read_addr: Vec
+    write_now: Vec
+    busy: Vec
+    fix_pulse: Vec
+
+
+def scrub_requests(m: Module, cfg: SubsystemConfig, regs: ScrubRegs,
+                   scrub_en: Vec, htrans: Vec, wbuf_valid: Vec,
+                   bist_active: Vec) -> ScrubSignals:
+    """Combinational port requests of the scrub FSM.
+
+    Reads are issued from IDLE when the memory "isn't used by the
+    system" (no bus transfer, no pending drain, no BIST); the repair
+    write re-enters the normal coder/write-buffer path.
+    """
+    with m.scope("fmem/scrub"):
+        port_free = (~htrans & ~wbuf_valid & ~bist_active)
+        read_req = (regs.in_idle & scrub_en & port_free).named("read_req")
+        read_addr = m.mux(regs.pending, regs.pend_addr, regs.scan_cnt)
+        write_now = (regs.in_write & port_free).named("write_now")
+        busy = (~regs.in_idle).named("busy")
+    return ScrubSignals(read_req=read_req, read_addr=read_addr,
+                        write_now=write_now, busy=busy,
+                        fix_pulse=write_now)
+
+
+def connect_scrubber(m: Module, cfg: SubsystemConfig, regs: ScrubRegs,
+                     sig: ScrubSignals, dec: DecoderSignals,
+                     sv2: Vec, rv2: Vec, addr_d2: Vec) -> Vec:
+    """Close the scrub FSM loops once the decoder outputs exist.
+
+    Returns the scrub-parity alarm (constant 0 unless
+    ``cfg.scrub_parity``): the repair data and target address are
+    parity-protected between capture and write-back, so a corrupted
+    holding register cannot silently rewrite the array.
+    """
+    from ..ecc.parity import build_parity
+    from ..hdl.library import increment
+    with m.scope("fmem/scrub"):
+        scrub_hit = regs.in_w2 & sv2 & dec.single
+
+        nxt = m.const(SCRUB_IDLE, 2)
+        nxt = m.mux(regs.in_idle & sig.read_req, m.const(SCRUB_W1, 2), nxt)
+        nxt = m.mux(regs.in_w1, m.const(SCRUB_W2, 2), nxt)
+        nxt = m.mux(regs.in_w2,
+                    m.mux(scrub_hit, m.const(SCRUB_WRITE, 2),
+                          m.const(SCRUB_IDLE, 2)), nxt)
+        nxt = m.mux(regs.in_write,
+                    m.mux(sig.write_now, m.const(SCRUB_IDLE, 2),
+                          m.const(SCRUB_WRITE, 2)), nxt)
+        m.connect_reg(regs.state, nxt)
+
+        issue = regs.in_idle & sig.read_req
+        m.connect_reg(regs.cur_addr,
+                      m.mux(issue, sig.read_addr, regs.cur_addr))
+        m.connect_reg(regs.was_pending,
+                      m.mux(issue, regs.pending, regs.was_pending))
+        m.connect_reg(regs.data,
+                      m.mux(scrub_hit, dec.data_out, regs.data))
+
+        # a corrected CPU read schedules a repair of that location
+        cpu_hit = rv2 & dec.single
+        done = ((regs.in_w2 & sv2 & ~dec.single & regs.was_pending)
+                | (regs.in_write & sig.write_now & regs.was_pending))
+        m.connect_reg(regs.pending, cpu_hit | (regs.pending & ~done))
+        m.connect_reg(regs.pend_addr,
+                      m.mux(cpu_hit, addr_d2, regs.pend_addr))
+
+        scan_done = regs.in_w2 & sv2 & ~regs.was_pending
+        inc, _ = increment(m, regs.scan_cnt)
+        m.connect_reg(regs.scan_cnt,
+                      m.mux(scan_done, inc, regs.scan_cnt))
+
+        if cfg.scrub_parity:
+            par_data = m.reg("par_data", build_parity(m, dec.data_out),
+                             en=scrub_hit)
+            par_addr = m.reg("par_addr",
+                             build_parity(m, sig.read_addr), en=issue)
+            bad = ((build_parity(m, regs.data) ^ par_data)
+                   | (build_parity(m, regs.cur_addr) ^ par_addr))
+            return (sig.write_now & bad).named("par_alarm")
+        return m.const(0)

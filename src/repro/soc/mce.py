@@ -1,0 +1,54 @@
+"""MCE: the Memory Control Extension between bus and F-MEM (§6 b).
+
+"It interfaces the F-MEM with the memory controller and with the bus,
+providing the DMA access for F-MEM scrubbing feature as also a
+distributed MPU functionality.  This MPU function considers that the
+memory is divided in number of pages associated with attributes and
+permissions.  The MCE block uses signals from the bus ... to
+discriminate these attributes and permissions and in case of faults,
+proper alarms are generated."
+
+The MPU here implements per-page write permissions: the page index is
+the top address bits, the permission word arrives on the ``mpu_cfg``
+port and is registered inside the MCE (so MPU configuration registers
+are sensible zones of their own).  A write to a protected page is
+blocked and raises ``alarm_mpu``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hdl.builder import Module, Vec
+from ..hdl.library import mux_many
+from .config import SubsystemConfig
+
+
+@dataclass
+class MceSignals:
+    """Decoded bus request with MPU screening applied."""
+
+    read_req: Vec
+    write_req: Vec
+    eff_write: Vec      # write allowed by the MPU
+    mpu_violation: Vec
+    page: Vec
+    mpu_reg: Vec
+
+
+def build_mce(m: Module, cfg: SubsystemConfig, haddr: Vec, hwrite: Vec,
+              htrans: Vec, hwdata: Vec, mpu_cfg: Vec) -> MceSignals:
+    """Bus request decode and distributed-MPU page check."""
+    with m.scope("mce"):
+        mpu_reg = m.reg("mpu_cfg_reg", mpu_cfg)
+        page = haddr[cfg.addr_bits - cfg.page_bits:cfg.addr_bits]
+        writable = mux_many(
+            m, page, [mpu_reg[i] for i in range(cfg.mpu_pages)])
+        read_req = (htrans & ~hwrite).named("read_req")
+        write_req = (htrans & hwrite).named("write_req")
+        violation = (write_req & ~writable).named("mpu_violation")
+        eff_write = (write_req & ~violation).named("eff_write")
+        _ = hwdata  # data passes straight through to the coder
+    return MceSignals(read_req=read_req, write_req=write_req,
+                      eff_write=eff_write, mpu_violation=violation,
+                      page=page, mpu_reg=mpu_reg)

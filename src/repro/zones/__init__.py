@@ -1,0 +1,45 @@
+"""Sensible-zone theory: extraction, cones, classification, effects."""
+
+from .model import (
+    Effect,
+    FailureMode,
+    FaultClass,
+    FaultPersistence,
+    ObservationKind,
+    ObservationPoint,
+    SensibleZone,
+    ZoneKind,
+)
+from .cones import Cone, ConeAnalyzer, CorrelationReport, correlate_zones
+from .extractor import (
+    ExtractionConfig,
+    ZoneExtractor,
+    ZoneSet,
+    extract_zones,
+)
+from .classify import FaultClassifier, FaultExtent
+from .graph import (
+    build_zone_graph,
+    checker_placement_candidates,
+    diagnostic_reach_ratio,
+    export_graphml,
+    undiagnosed_zones,
+    zone_reach,
+)
+from .effects import (
+    EffectPredictor,
+    PredictedEffects,
+    predict_effects_table,
+)
+
+__all__ = [
+    "Effect", "FailureMode", "FaultClass", "FaultPersistence",
+    "ObservationKind", "ObservationPoint", "SensibleZone", "ZoneKind",
+    "Cone", "ConeAnalyzer", "CorrelationReport", "correlate_zones",
+    "ExtractionConfig", "ZoneExtractor", "ZoneSet", "extract_zones",
+    "FaultClassifier", "FaultExtent",
+    "EffectPredictor", "PredictedEffects", "predict_effects_table",
+    "build_zone_graph", "checker_placement_candidates",
+    "diagnostic_reach_ratio", "export_graphml", "undiagnosed_zones",
+    "zone_reach",
+]

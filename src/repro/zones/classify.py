@@ -1,0 +1,111 @@
+"""Local / wide / global classification of physical HW faults (§3).
+
+* **local**: the fault affects gates of a logic cone contributing to a
+  single sensible zone;
+* **wide**: the fault sits in logic shared by the cones of two or more
+  zones (including clock/reset buffers feeding several flip-flops and
+  coupled lines), so a single physical fault yields multiple failures;
+* **global**: the fault affects many logic cones — PLL/clock-tree roots,
+  power-supply or thermal faults over large areas.  We classify a fault
+  as global when it reaches at least ``global_fraction`` of all zones or
+  sits on a designated global net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .extractor import ZoneSet
+from .model import FaultClass
+
+
+@dataclass
+class FaultExtent:
+    """Classification result for one physical fault site."""
+
+    site: str
+    fault_class: FaultClass
+    zones: tuple[str, ...]
+
+    @property
+    def multiplicity(self) -> int:
+        return len(self.zones)
+
+
+class FaultClassifier:
+    """Classifies gate/net fault sites against extracted zone cones."""
+
+    def __init__(self, zone_set: ZoneSet, global_fraction: float = 0.25,
+                 global_nets: tuple[str, ...] = ()):
+        self.zone_set = zone_set
+        self.global_fraction = global_fraction
+        self.global_nets = set(global_nets)
+        self._gate_zones: dict[int, list[str]] = {}
+        for name, cone in zone_set.cones.items():
+            for gate in cone.gates:
+                self._gate_zones.setdefault(gate, []).append(name)
+        self._injectable_zones = [
+            z.name for z in zone_set.zones
+            if z.name in zone_set.cones and zone_set.cones[z.name].gates]
+
+    # ------------------------------------------------------------------
+    def classify_gate(self, gate_idx: int) -> FaultExtent:
+        """Classify a stuck-at at the output of a gate."""
+        circuit = self.zone_set.circuit
+        zones = tuple(sorted(self._gate_zones.get(gate_idx, ())))
+        site = f"gate:{circuit.net_names[circuit.gates[gate_idx].out]}"
+        return self._extent(site, zones)
+
+    def classify_net(self, net) -> FaultExtent:
+        """Classify a fault on a net (stuck-at, bridge, SET)."""
+        circuit = self.zone_set.circuit
+        if isinstance(net, str):
+            net_name = net
+            net = circuit.find_net(net)
+        else:
+            net_name = circuit.net_names[net]
+
+        zones: set[str] = set()
+        # zones whose defining nets include the net
+        for zone in self.zone_set.zones:
+            if net in zone.nets:
+                zones.add(zone.name)
+        # zones whose input cone consumes the net
+        fanout = circuit.fanout_map().get(net, ())
+        gate_consumers = [d[1] for d in fanout if d[0] == "gate"]
+        for gi in gate_consumers:
+            zones.update(self._gate_zones.get(gi, ()))
+        for desc in fanout:
+            if desc[0] == "flop":
+                flop = circuit.flops[desc[1]]
+                for zone in self.zone_set.zones:
+                    if flop.name in zone.flops:
+                        zones.add(zone.name)
+
+        site = f"net:{net_name}"
+        if net_name in self.global_nets:
+            return FaultExtent(site, FaultClass.GLOBAL,
+                               tuple(sorted(zones)))
+        return self._extent(site, tuple(sorted(zones)))
+
+    def _extent(self, site: str, zones: tuple[str, ...]) -> FaultExtent:
+        total = max(1, len(self._injectable_zones))
+        if len(zones) >= max(3, self.global_fraction * total):
+            cls = FaultClass.GLOBAL
+        elif len(zones) > 1:
+            cls = FaultClass.WIDE
+        elif len(zones) == 1:
+            cls = FaultClass.LOCAL
+        else:
+            cls = FaultClass.LOCAL  # untraced site: conservatively local
+        return FaultExtent(site, cls, zones)
+
+    # ------------------------------------------------------------------
+    def census(self) -> dict[str, int]:
+        """Count gates by classification (local/wide/global)."""
+        counts = {FaultClass.LOCAL.value: 0, FaultClass.WIDE.value: 0,
+                  FaultClass.GLOBAL.value: 0}
+        for gate_idx in range(len(self.zone_set.circuit.gates)):
+            extent = self.classify_gate(gate_idx)
+            counts[extent.fault_class.value] += 1
+        return counts

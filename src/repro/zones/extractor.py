@@ -1,0 +1,262 @@
+"""Automatic sensible-zone and observation-point extraction (paper §3).
+
+"In a first step, a set of sensible zones are identified from the RTL
+description" — registers (the state registers of the interconnected
+Moore machines are the best candidates), primary inputs and outputs,
+critical nets such as clocks or long (high-fanout) nets, and entire
+sub-blocks.  Memories are modeled with their own fault model and
+represented as region zones.
+
+The extractor also produces observation points: primary outputs, with
+those matching the configured alarm patterns classified as diagnostic
+(DIAG) points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hdl.netlist import Circuit, OP_BUF, OP_CONST0, OP_CONST1
+from .cones import Cone, ConeAnalyzer, CorrelationReport, correlate_zones
+from .model import (
+    ObservationKind,
+    ObservationPoint,
+    SensibleZone,
+    ZoneKind,
+)
+
+
+@dataclass
+class ExtractionConfig:
+    """Granularity knobs of the extraction tool.
+
+    ``register_slice_bits`` controls how wide registers are split into
+    zones (the paper's tool "collect[s] and properly compact[s] the
+    registers"); ``critical_fanout`` is the load threshold above which a
+    net is considered critical (clock/reset buffers, long nets);
+    ``memory_words_per_zone`` partitions memory arrays into region
+    zones.
+    """
+
+    register_slice_bits: int = 8
+    critical_fanout: int = 24
+    memory_words_per_zone: int = 64
+    include_ports: bool = True
+    include_critical_nets: bool = True
+    include_subblocks: bool = True
+    subblock_depth: int = 1
+    alarm_patterns: tuple[str, ...] = ("alarm", "err", "fault", "diag")
+    #: outputs matching these are status/housekeeping, not part of the
+    #: safety function (observed for effects, excluded from the
+    #: dangerous-corruption judgement)
+    status_patterns: tuple[str, ...] = ("scrub_", "bist_done", "_busy")
+
+
+@dataclass
+class ZoneSet:
+    """Result of an extraction run."""
+
+    circuit: Circuit
+    zones: list[SensibleZone]
+    observation_points: list[ObservationPoint]
+    correlation: CorrelationReport | None = None
+    cones: dict[str, Cone] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.zones)
+
+    def by_name(self, name: str) -> SensibleZone:
+        for zone in self.zones:
+            if zone.name == name:
+                return zone
+        raise KeyError(name)
+
+    def of_kind(self, kind: ZoneKind) -> list[SensibleZone]:
+        return [z for z in self.zones if z.kind is kind]
+
+    def functional_points(self) -> list[ObservationPoint]:
+        return [p for p in self.observation_points if not p.is_diagnostic]
+
+    def diagnostic_points(self) -> list[ObservationPoint]:
+        return [p for p in self.observation_points if p.is_diagnostic]
+
+    def summary(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for zone in self.zones:
+            counts[zone.kind.value] = counts.get(zone.kind.value, 0) + 1
+        counts["total"] = len(self.zones)
+        return counts
+
+
+class ZoneExtractor:
+    """Extracts sensible zones and observation points from a netlist."""
+
+    def __init__(self, circuit: Circuit,
+                 config: ExtractionConfig | None = None):
+        self.circuit = circuit
+        self.config = config or ExtractionConfig()
+
+    # ------------------------------------------------------------------
+    def extract(self, analyze_cones: bool = True) -> ZoneSet:
+        zones: list[SensibleZone] = []
+        zones.extend(self._register_zones())
+        zones.extend(self._memory_zones())
+        if self.config.include_ports:
+            zones.extend(self._port_zones())
+        if self.config.include_critical_nets:
+            zones.extend(self._critical_net_zones())
+        if self.config.include_subblocks:
+            zones.extend(self._subblock_zones())
+
+        points = self.observation_points()
+        zone_set = ZoneSet(self.circuit, zones, points)
+
+        if analyze_cones:
+            analyzer = ConeAnalyzer(self.circuit)
+            for zone in zones:
+                cone = analyzer.cone_of_zone_inputs(zone)
+                zone.cone_gates = analyzer.effective_gate_count(cone)
+                zone.cone_inputs = len(cone.boundary_nets)
+                zone.cone_depth = cone.depth
+                zone_set.cones[zone.name] = cone
+            zone_set.correlation = correlate_zones(zone_set.cones)
+        return zone_set
+
+    # ------------------------------------------------------------------
+    def _register_zones(self) -> list[SensibleZone]:
+        zones = []
+        slice_bits = max(1, self.config.register_slice_bits)
+        for base, flops in self.circuit.iter_flops_by_register():
+            for start in range(0, len(flops), slice_bits):
+                chunk = flops[start:start + slice_bits]
+                name = base
+                if len(flops) > slice_bits:
+                    name = f"{base}[{start}:{start + len(chunk) - 1}]"
+                zones.append(SensibleZone(
+                    name=name,
+                    kind=ZoneKind.REGISTER,
+                    nets=tuple(f.q for f in chunk),
+                    flops=tuple(f.name for f in chunk),
+                    path=chunk[0].path,
+                    size_bits=len(chunk)))
+        return zones
+
+    def _memory_zones(self) -> list[SensibleZone]:
+        zones = []
+        words_per = max(1, self.config.memory_words_per_zone)
+        for mem in self.circuit.memories:
+            for start in range(0, mem.depth, words_per):
+                end = min(start + words_per, mem.depth) - 1
+                name = mem.name
+                if mem.depth > words_per:
+                    name = f"{mem.name}/words[{start}:{end}]"
+                zones.append(SensibleZone(
+                    name=name,
+                    kind=ZoneKind.MEMORY,
+                    nets=tuple(mem.rdata),
+                    path=mem.path,
+                    size_bits=(end - start + 1) * mem.width,
+                    memory=mem.name,
+                    mem_words=(start, end)))
+        return zones
+
+    def _port_zones(self) -> list[SensibleZone]:
+        zones = []
+        for name, nets in self.circuit.inputs.items():
+            zones.append(SensibleZone(
+                name=f"pi:{name}", kind=ZoneKind.PRIMARY_INPUT,
+                nets=tuple(nets), size_bits=len(nets)))
+        for name, nets in self.circuit.outputs.items():
+            zones.append(SensibleZone(
+                name=f"po:{name}", kind=ZoneKind.PRIMARY_OUTPUT,
+                nets=tuple(nets), size_bits=len(nets)))
+        return zones
+
+    def _critical_net_zones(self) -> list[SensibleZone]:
+        fanout = self.circuit.fanout_map()
+        driver = self.circuit.driver_map()
+        const_nets = {g.out for g in self.circuit.gates
+                      if g.op in (OP_CONST0, OP_CONST1)}
+        zones = []
+        for net, loads in fanout.items():
+            if net in const_nets:
+                continue
+            if len(loads) >= self.config.critical_fanout:
+                desc = driver.get(net, ("?",))
+                zones.append(SensibleZone(
+                    name=f"critical:{self.circuit.net_names[net]}",
+                    kind=ZoneKind.CRITICAL_NET,
+                    nets=(net,),
+                    size_bits=1,
+                    attrs={"fanout": len(loads),
+                           "driver": desc[0]}))
+        return zones
+
+    def _subblock_zones(self) -> list[SensibleZone]:
+        depth = self.config.subblock_depth
+        blocks: dict[str, dict] = {}
+        for gi, gate in enumerate(self.circuit.gates):
+            if not gate.path or gate.op in (OP_CONST0, OP_CONST1, OP_BUF):
+                continue
+            top = "/".join(gate.path.split("/")[:depth])
+            info = blocks.setdefault(top, {"gates": 0, "flops": 0,
+                                           "out_nets": set(),
+                                           "gate_nets": set()})
+            info["gates"] += 1
+            info["gate_nets"].add(gate.out)
+        for flop in self.circuit.flops:
+            if not flop.path:
+                continue
+            top = "/".join(flop.path.split("/")[:depth])
+            info = blocks.setdefault(top, {"gates": 0, "flops": 0,
+                                           "out_nets": set(),
+                                           "gate_nets": set()})
+            info["flops"] += 1
+            info["gate_nets"].add(flop.q)
+
+        # block outputs: nets driven inside the block, consumed outside
+        consumer_path: dict[int, set[str]] = {}
+        for gate in self.circuit.gates:
+            top = "/".join(gate.path.split("/")[:depth]) if gate.path else ""
+            for net in gate.inputs:
+                consumer_path.setdefault(net, set()).add(top)
+        for flop in self.circuit.flops:
+            top = "/".join(flop.path.split("/")[:depth]) if flop.path else ""
+            consumer_path.setdefault(flop.d, set()).add(top)
+        for name, nets in self.circuit.outputs.items():
+            for net in nets:
+                consumer_path.setdefault(net, set()).add("<po>")
+
+        zones = []
+        for top, info in sorted(blocks.items()):
+            out_nets = {net for net in info["gate_nets"]
+                        if consumer_path.get(net, set()) - {top}}
+            zones.append(SensibleZone(
+                name=f"block:{top}", kind=ZoneKind.SUBBLOCK,
+                nets=tuple(sorted(out_nets)),
+                path=top,
+                size_bits=info["flops"],
+                attrs={"gates": info["gates"], "flops": info["flops"]}))
+        return zones
+
+    # ------------------------------------------------------------------
+    def observation_points(self) -> list[ObservationPoint]:
+        points = []
+        for name, nets in self.circuit.outputs.items():
+            lowered = name.lower()
+            if any(p in lowered for p in self.config.alarm_patterns):
+                kind = ObservationKind.ALARM
+            elif any(p in lowered for p in self.config.status_patterns):
+                kind = ObservationKind.FUNCTION
+            else:
+                kind = ObservationKind.OUTPUT
+            points.append(ObservationPoint(name=name, kind=kind,
+                                           nets=tuple(nets)))
+        return points
+
+
+def extract_zones(circuit: Circuit,
+                  config: ExtractionConfig | None = None,
+                  analyze_cones: bool = True) -> ZoneSet:
+    """Convenience wrapper: extract zones + observation points."""
+    return ZoneExtractor(circuit, config).extract(analyze_cones)

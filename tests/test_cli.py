@@ -1,0 +1,103 @@
+"""Tests for the soc-fmea command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_zones_command(capsys):
+    code, out = run_cli(capsys, "zones", "--variant", "small-improved")
+    assert code == 0
+    assert "sensible zones" in out
+    assert "register" in out
+
+
+def test_zones_list(capsys):
+    code, out = run_cli(capsys, "zones", "--variant", "small-baseline",
+                        "--list")
+    assert code == 0
+    assert "fmem/decoder" in out
+
+
+def test_fmea_command(capsys, tmp_path):
+    csv_path = tmp_path / "sheet.csv"
+    code, out = run_cli(capsys, "fmea", "--variant", "small-improved",
+                        "--csv", str(csv_path))
+    assert code == 0
+    assert "FMEA summary" in out
+    assert "SFF" in out
+    assert csv_path.exists()
+    header = csv_path.read_text().splitlines()[0]
+    assert header.startswith("zone,kind,failure_mode")
+
+
+def test_sensitivity_command(capsys):
+    code, out = run_cli(capsys, "sensitivity", "--variant",
+                        "small-improved", "--tolerance", "0.02")
+    assert code == 0
+    assert "nominal SFF" in out
+
+
+def test_verilog_command(capsys, tmp_path):
+    out_path = tmp_path / "netlist.v"
+    code, _ = run_cli(capsys, "verilog", "--variant", "small-baseline",
+                      "-o", str(out_path))
+    assert code == 0
+    text = out_path.read_text()
+    assert text.startswith("module memss_small_baseline")
+    assert "endmodule" in text
+
+
+def test_validate_command(capsys):
+    code, out = run_cli(capsys, "validate", "--variant",
+                        "small-improved")
+    assert code == 0
+    assert "overall: PASS" in out
+
+
+def test_compare_command(capsys):
+    code, out = run_cli(capsys, "compare")
+    assert code == 0
+    assert "baseline" in out and "improved" in out
+    # the experiment's conclusion: improved reaches SIL3, baseline not
+    lines = [ln for ln in out.splitlines() if "|" in ln]
+    base_line = next(ln for ln in lines if "baseline" in ln)
+    impr_line = next(ln for ln in lines if "improved" in ln)
+    assert "no" in base_line and "yes" in impr_line
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_xcheck_command(capsys):
+    code, out = run_cli(capsys, "xcheck", "--variant",
+                        "small-improved")
+    assert code == 0
+    assert "reset coverage" in out
+    assert "CLEAN" in out
+
+
+def test_derating_command(capsys):
+    code, out = run_cli(capsys, "derating", "--variant",
+                        "small-improved", "--samples", "40")
+    assert code == 0
+    assert "SET derating" in out
+
+
+def test_dossier_command(capsys, tmp_path):
+    out_path = tmp_path / "dossier.txt"
+    code, out = run_cli(capsys, "dossier", "--variant",
+                        "small-improved", "--no-validation",
+                        "--target-sil", "2", "-o", str(out_path))
+    assert code == 0
+    text = out_path.read_text()
+    assert "SAFETY DOSSIER" in text
+    assert "verdict" in text

@@ -1,0 +1,184 @@
+"""Tests for the IEC 61508 norm model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.iec61508 import (
+    SIL,
+    DcLevel,
+    FailureRates,
+    Target,
+    architecture_table,
+    clamp_claim,
+    diagnostic_coverage,
+    failure_modes_for,
+    max_dc_claim,
+    max_sil,
+    permanent_modes,
+    pfh_meets,
+    required_sff,
+    safe_failure_fraction,
+    technique,
+    techniques_for,
+    transient_modes,
+)
+from repro.zones import ZoneKind
+
+
+# ----------------------------------------------------------------------
+# SIL architecture tables
+# ----------------------------------------------------------------------
+def test_paper_quoted_thresholds():
+    # "With a HFT equal to zero, a SFF equal or greater than 99% is
+    # required in order that the system ... can be granted with SIL3."
+    assert max_sil(0.99, hft=0) is SIL.SIL3
+    assert max_sil(0.9938, hft=0) is SIL.SIL3
+    assert max_sil(0.95, hft=0) is SIL.SIL2          # the baseline design
+    # "With a HFT equal to one, the SFF should be greater than 90%."
+    assert max_sil(0.90, hft=1) is SIL.SIL3
+    assert max_sil(0.89, hft=1) is SIL.SIL2
+
+
+def test_type_b_low_sff_not_allowed_at_hft0():
+    assert max_sil(0.5, hft=0, type_b=True) is None
+    assert max_sil(0.5, hft=0, type_b=False) is SIL.SIL1
+
+
+def test_required_sff():
+    assert required_sff(SIL.SIL3, hft=0) == pytest.approx(0.99)
+    assert required_sff(SIL.SIL3, hft=1) == pytest.approx(0.90)
+    assert required_sff(SIL.SIL2, hft=0) == pytest.approx(0.90)
+
+
+def test_required_sff_unreachable():
+    with pytest.raises(ValueError):
+        required_sff(SIL.SIL4, hft=0, type_b=True)
+
+
+def test_architecture_table_shape():
+    rows = architecture_table(type_b=True)
+    assert len(rows) == 4
+    assert rows[0][1][0] == "not allowed"
+    assert rows[3][1][0] == "SIL3"
+
+
+@given(st.floats(min_value=0.0, max_value=1.0),
+       st.integers(min_value=0, max_value=2))
+def test_max_sil_monotonic_in_hft(sff, hft):
+    """More fault tolerance never lowers the claimable SIL."""
+    low = max_sil(sff, hft)
+    high = max_sil(sff, hft + 1)
+    if low is not None:
+        assert high is not None and high >= low
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        max_sil(1.5, 0)
+    with pytest.raises(ValueError):
+        max_sil(0.9, -1)
+
+
+def test_pfh_targets():
+    assert pfh_meets(SIL.SIL3, 5e-8)
+    assert not pfh_meets(SIL.SIL3, 5e-7)
+
+
+# ----------------------------------------------------------------------
+# λ-algebra
+# ----------------------------------------------------------------------
+def test_dc_and_sff_formulas():
+    rates = FailureRates(lambda_s=50, lambda_dd=45, lambda_du=5)
+    assert rates.lambda_d == 50
+    assert rates.dc == pytest.approx(0.90)
+    assert rates.sff == pytest.approx(0.95)
+
+
+def test_empty_rates_are_perfect():
+    assert FailureRates().sff == 1.0
+    assert FailureRates().dc == 1.0
+
+
+def test_rate_addition_and_scaling():
+    a = FailureRates(10, 20, 5)
+    b = FailureRates(1, 2, 3)
+    c = a + b
+    assert c.lambda_s == 11 and c.lambda_dd == 22 and c.lambda_du == 8
+    assert a.scaled(2).total == 2 * a.total
+
+
+def test_split_by_s_factor_and_dc():
+    rates = FailureRates.split(total=100, safe_fraction=0.4, dc=0.9)
+    assert rates.lambda_s == pytest.approx(40)
+    assert rates.lambda_dd == pytest.approx(54)
+    assert rates.lambda_du == pytest.approx(6)
+    assert rates.total == pytest.approx(100)
+
+
+@given(st.floats(min_value=0.001, max_value=1000),
+       st.floats(min_value=0, max_value=1),
+       st.floats(min_value=0, max_value=1))
+def test_split_conserves_total(total, s, dc):
+    rates = FailureRates.split(total, s, dc)
+    assert rates.total == pytest.approx(total, rel=1e-9)
+    assert 0 <= rates.sff <= 1.0 + 1e-9
+
+
+def test_helper_functions():
+    assert diagnostic_coverage(90, 10) == pytest.approx(0.9)
+    assert safe_failure_fraction(50, 45, 5) == pytest.approx(0.95)
+
+
+# ----------------------------------------------------------------------
+# techniques catalog
+# ----------------------------------------------------------------------
+def test_hamming_is_high_coverage():
+    # §2: "RAM monitoring with Hamming code or ECCs or double RAMs ...
+    # are the ones with the highest value"
+    assert technique("ram_ecc_hamming").max_dc is DcLevel.HIGH
+    assert technique("ram_double_comparison").max_dc is DcLevel.HIGH
+    assert max_dc_claim("ram_ecc_hamming") == pytest.approx(0.99)
+
+
+def test_parity_is_low_coverage():
+    assert technique("ram_parity").max_dc is DcLevel.LOW
+
+
+def test_clamp_claim():
+    assert clamp_claim("ram_parity", 0.95) == pytest.approx(0.60)
+    assert clamp_claim("ram_ecc_hamming", 0.95) == pytest.approx(0.95)
+
+
+def test_techniques_for_target():
+    vm = techniques_for(Target.VARIABLE_MEMORY)
+    assert any(t.key == "ram_ecc_hamming" for t in vm)
+    assert all(t.target is Target.VARIABLE_MEMORY for t in vm)
+
+
+def test_unknown_technique():
+    with pytest.raises(KeyError):
+        technique("does_not_exist")
+
+
+# ----------------------------------------------------------------------
+# failure-mode catalog
+# ----------------------------------------------------------------------
+def test_variable_memory_modes_match_paper():
+    names = {fm.name for fm in failure_modes_for(ZoneKind.MEMORY)}
+    # §2: DC fault model, dynamic cross-over, no/wrong/multiple
+    # addressing, change of information caused by soft-errors
+    assert names == {"dc_fault", "dynamic_crossover", "addressing",
+                     "soft_error"}
+
+
+def test_register_modes_include_wrong_coding():
+    names = {fm.name for fm in failure_modes_for(ZoneKind.REGISTER)}
+    assert "wrong_coding" in names and "bit_flip" in names
+
+
+def test_persistence_split():
+    trans = transient_modes(ZoneKind.MEMORY)
+    perm = permanent_modes(ZoneKind.MEMORY)
+    assert {fm.name for fm in trans} == {"soft_error"}
+    assert len(perm) == 3

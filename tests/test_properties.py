@@ -1,0 +1,212 @@
+"""Cross-module property-based and exhaustive invariant tests."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import SecDedCode
+from repro.fmea import (
+    DiagnosticClaim,
+    FitModel,
+    build_worksheet,
+    combine_coverage,
+)
+from repro.hdl import Module, Simulator
+from repro.iec61508 import FailureRates
+from repro.soc import MemorySubsystem, SubsystemConfig
+from repro.zones import ZoneKind, extract_zones, predict_effects_table
+from repro.faultinjection import CandidateList, StuckNetFault, collapse
+
+
+# ----------------------------------------------------------------------
+# SEC-DED: exhaustive proof for a small code
+# ----------------------------------------------------------------------
+def test_secded_k4_exhaustive():
+    """Every word, every single error corrected; every double error
+    detected — checked exhaustively, not sampled."""
+    code = SecDedCode(4)
+    n = code.n
+    for data in range(16):
+        cw = code.codeword(data)
+        res = code.decode_word(cw)
+        assert res.data == data and not res.corrected
+        for bit in range(n):
+            res = code.decode_word(cw ^ (1 << bit))
+            assert res.data == data
+            assert res.corrected and not res.uncorrectable
+        for b1, b2 in itertools.combinations(range(n), 2):
+            res = code.decode_word(cw ^ (1 << b1) ^ (1 << b2))
+            assert res.uncorrectable
+            assert not res.corrected
+
+
+@given(st.integers(2, 64))
+def test_secded_column_distance(k):
+    """Any two columns XOR to a non-column (no single/double alias)."""
+    code = SecDedCode(k)
+    cols = set(code.columns)
+    for a, b in itertools.combinations(code.columns, 2):
+        assert (a ^ b) != 0
+        # even-weight XOR of two odd-weight columns: never aliases to a
+        # (necessarily odd-weight) column signature
+        assert (a ^ b) not in cols
+
+
+# ----------------------------------------------------------------------
+# λ-algebra properties
+# ----------------------------------------------------------------------
+rates_st = st.builds(FailureRates,
+                     st.floats(0, 1e4), st.floats(0, 1e4),
+                     st.floats(0, 1e4))
+
+
+@given(rates_st, rates_st)
+def test_rate_addition_commutative(a, b):
+    left, right = a + b, b + a
+    assert left.lambda_s == right.lambda_s
+    assert left.lambda_dd == right.lambda_dd
+    assert left.lambda_du == right.lambda_du
+
+
+@given(rates_st)
+def test_rate_bounds(r):
+    assert 0.0 <= r.sff <= 1.0
+    assert 0.0 <= r.dc <= 1.0
+    assert r.total >= r.lambda_d >= r.lambda_dd
+
+
+@given(rates_st, st.floats(0.001, 100))
+def test_sff_scale_invariant(r, k):
+    """SFF and DC are ratios: scaling all rates never changes them."""
+    scaled = r.scaled(k)
+    assert scaled.sff == pytest.approx(r.sff, rel=1e-9, abs=1e-12)
+    assert scaled.dc == pytest.approx(r.dc, rel=1e-9, abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# claim combination
+# ----------------------------------------------------------------------
+@given(st.lists(st.floats(0, 1), max_size=5))
+def test_combine_coverage_monotone_and_bounded(ddfs):
+    claims = [DiagnosticClaim("cpu_hw_redundancy", d) for d in ddfs]
+    combined = combine_coverage(claims)
+    assert 0.0 <= combined <= 1.0
+    for claim in claims:
+        assert combined >= claim.effective_ddf - 1e-12
+    # adding one more technique never reduces coverage
+    more = combine_coverage(claims + [
+        DiagnosticClaim("bus_parity", 0.5)])
+    assert more >= combined - 1e-12
+
+
+# ----------------------------------------------------------------------
+# simulator metamorphic property: buffering is transparent
+# ----------------------------------------------------------------------
+@given(st.lists(st.tuples(st.integers(0, 255), st.integers(0, 255)),
+                min_size=1, max_size=6))
+@settings(max_examples=20, deadline=None)
+def test_buffer_insertion_transparent(stimuli):
+    def build(buffered):
+        m = Module("t")
+        a = m.input("a", 8)
+        b = m.input("b", 8)
+        x = a ^ b
+        if buffered:
+            x = x.named("probe1").named("probe2")  # two buffer layers
+        q = m.reg("r", x & a)
+        m.output("y", q)
+        return m.build()
+
+    plain, buffered = Simulator(build(False)), Simulator(build(True))
+    for a, b in stimuli:
+        plain.step({"a": a, "b": b})
+        buffered.step({"a": a, "b": b})
+        plain.step_eval({"a": 0, "b": 0})
+        buffered.step_eval({"a": 0, "b": 0})
+        assert plain.output("y") == buffered.output("y")
+        plain.step_commit()
+        buffered.step_commit()
+
+
+# ----------------------------------------------------------------------
+# zone extraction invariants
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def zone_set():
+    sub = MemorySubsystem(SubsystemConfig.small_improved())
+    return extract_zones(sub.circuit, sub.extraction_config())
+
+
+def test_every_flop_in_exactly_one_register_zone(zone_set):
+    owner: dict[str, str] = {}
+    for zone in zone_set.of_kind(ZoneKind.REGISTER):
+        for flop in zone.flops:
+            assert flop not in owner, (flop, owner[flop], zone.name)
+            owner[flop] = zone.name
+    all_flops = {f.name for f in zone_set.circuit.flops}
+    assert set(owner) == all_flops
+
+
+def test_memory_regions_partition_the_array(zone_set):
+    mem = zone_set.circuit.memories[0]
+    covered = []
+    for zone in zone_set.of_kind(ZoneKind.MEMORY):
+        lo, hi = zone.mem_words
+        covered.extend(range(lo, hi + 1))
+    assert sorted(covered) == list(range(mem.depth))
+
+
+def test_zone_bits_accounting(zone_set):
+    reg_bits = sum(z.size_bits
+                   for z in zone_set.of_kind(ZoneKind.REGISTER))
+    assert reg_bits == zone_set.circuit.flop_count()
+    mem_bits = sum(z.size_bits
+                   for z in zone_set.of_kind(ZoneKind.MEMORY))
+    assert mem_bits == zone_set.circuit.memory_bits()
+
+
+def test_main_effect_is_minimal(zone_set):
+    table = predict_effects_table(zone_set)
+    for pred in table.values():
+        if not pred.effects:
+            continue
+        main = pred.main
+        assert all(main.distance <= e.distance for e in pred.effects)
+
+
+# ----------------------------------------------------------------------
+# FIT conservation through the worksheet
+# ----------------------------------------------------------------------
+@given(st.floats(0.0001, 0.1), st.floats(0.0001, 0.1),
+       st.floats(0.0001, 0.1))
+@settings(max_examples=10, deadline=None)
+def test_worksheet_fit_conservation(gate_fit, flop_fit, mem_fit):
+    sub = MemorySubsystem(SubsystemConfig.small_baseline())
+    zone_set = extract_zones(sub.circuit, sub.extraction_config())
+    fit = FitModel(gate_transient_fit=gate_fit,
+                   flop_transient_fit=flop_fit,
+                   membit_transient_fit=mem_fit)
+    sheet = build_worksheet(zone_set, fit_model=fit)
+    expected = 0.0
+    included = {e.zone for e in sheet.entries}
+    for zone in zone_set.zones:
+        if zone.name in included:
+            t, p = fit.zone_fit(zone)
+            expected += t + p
+    assert sheet.totals().total == pytest.approx(expected, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# fault-list invariants
+# ----------------------------------------------------------------------
+@given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                          st.integers(0, 1)), max_size=20))
+def test_collapse_idempotent(pairs):
+    faults = [StuckNetFault(target=t, value=v) for t, v in pairs]
+    once = collapse(CandidateList(faults=faults))
+    twice = collapse(once)
+    assert [f.name for f in once.faults] == \
+        [f.name for f in twice.faults]
+    assert len({f.name for f in once.faults}) == len(once.faults)

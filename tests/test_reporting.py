@@ -1,0 +1,33 @@
+"""Tests for the report-rendering helpers."""
+
+from repro.reporting import pct, render_kv, render_table
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "v"], [["a", 1], ["long-name", 22]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    widths = {len(ln) for ln in lines[1:]}
+    assert len(widths) == 1          # every row the same width
+    assert "| long-name | 22 |" in text
+
+
+def test_render_table_empty_rows():
+    text = render_table(["a", "b"], [])
+    assert "| a | b |" in text
+
+
+def test_render_kv():
+    text = render_kv([("key", 1), ("much-longer", "x")])
+    lines = text.splitlines()
+    assert lines[0].startswith("key ")
+    assert ": 1" in lines[0]
+    colon_cols = {ln.index(":") for ln in lines}
+    assert len(colon_cols) == 1      # aligned
+
+
+def test_pct():
+    assert pct(0.9938) == "99.38%"
+    assert pct(0.5, 0) == "50%"
+    assert pct(1.0) == "100.00%"
