@@ -13,10 +13,15 @@ table is structurally consistent, and the campaign throughput is
 reported.
 """
 
+import os
+
 from conftest import report
 
 from repro.faultinjection import (
     CampaignConfig,
+    CampaignSpec,
+    FaultListConfig,
+    ParallelCampaignRunner,
     ResultAnalyzer,
     build_environment,
 )
@@ -93,3 +98,46 @@ def test_campaign_parallel_speedup(benchmark, env):
            per_fault_parallel_ms=f"{per_fault_wide * 1e3:.1f}",
            per_fault_serial_ms=f"{per_fault_serial * 1e3:.1f}")
     assert per_fault_wide < per_fault_serial
+
+
+def test_campaign_sharded_worker_speedup(benchmark, env):
+    """Serial pass loop vs the sharded multi-process campaign runner.
+
+    The large campaign (denser per-zone sampling than the default) is
+    run once through the in-process manager and then through
+    ``ParallelCampaignRunner`` with 4 workers; both paths must agree
+    bit-for-bit on the safety metrics, and on a machine with enough
+    cores the sharded run must be at least 1.5x faster.
+    """
+    candidates = env.candidates(FaultListConfig(
+        transient_per_zone=8, permanent_per_zone=8,
+        mem_words_sampled=8))
+    spec = CampaignSpec.from_environment(env)
+    workers = 4
+
+    serial = spec.manager().run(candidates)
+
+    def sharded():
+        runner = ParallelCampaignRunner(spec, workers=workers)
+        result = runner.run(candidates)
+        result.stats = runner.last_stats
+        return result
+
+    campaign = benchmark.pedantic(sharded, rounds=1, iterations=1)
+    assert campaign.outcomes() == serial.outcomes()
+    assert campaign.measured_dc() == serial.measured_dc()
+    assert campaign.measured_safe_fraction() == \
+        serial.measured_safe_fraction()
+
+    speedup = serial.wall_seconds / max(campaign.wall_seconds, 1e-9)
+    report(benchmark,
+           injections=len(campaign.results),
+           workers=workers,
+           serial_s=f"{serial.wall_seconds:.2f}",
+           sharded_s=f"{campaign.wall_seconds:.2f}",
+           speedup=f"{speedup:.2f}x",
+           golden_trace_s=f"{campaign.stats.golden_seconds:.2f}",
+           cores=os.cpu_count())
+    # the speedup target only holds where the cores exist to back it
+    if (os.cpu_count() or 1) >= workers:
+        assert speedup >= 1.5

@@ -147,6 +147,49 @@ def cmd_dossier(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    """Run the zone fault-injection campaign, optionally sharded."""
+    from .faultinjection import build_environment, randomize
+    from .faultinjection.manager import CampaignConfig
+    from .faultinjection.parallel import (
+        CampaignSpec,
+        ParallelCampaignRunner,
+    )
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    sub = _make_subsystem(args)
+    env = build_environment(sub, quick=not args.full)
+    candidates = env.candidates()
+    if args.sample:
+        candidates = randomize(candidates, args.sample)
+
+    progress = None
+    if args.progress:
+        def progress(done, total):
+            print(f"  {done}/{total} faults simulated", flush=True)
+
+    config = CampaignConfig(machines_per_pass=args.machines_per_pass)
+    runner = ParallelCampaignRunner(
+        CampaignSpec.from_environment(env, config=config),
+        workers=args.workers, shards=args.shards, progress=progress)
+    campaign = runner.run(candidates)
+
+    counts = campaign.outcomes()
+    rows = [[name, count, pct(count / len(campaign.results))
+             if campaign.results else pct(0.0)]
+            for name, count in counts.items()]
+    print(render_table(["outcome", "faults", "fraction"], rows,
+                       title=f"=== campaign: {sub.cfg.name}, "
+                             f"{len(campaign.results)} faults ==="))
+    print(f"measured DC:            {pct(campaign.measured_dc())}")
+    print(f"measured safe fraction: "
+          f"{pct(campaign.measured_safe_fraction())}")
+    if runner.last_stats is not None:
+        print(runner.last_stats.summary())
+    return 0
+
+
 def cmd_compare(args) -> int:
     """Baseline vs improved headline metrics (the §6 experiment)."""
     rows = []
@@ -235,6 +278,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the injection campaign (faster)")
     p.add_argument("-o", "--output")
     p.set_defaults(func=cmd_dossier)
+
+    p = sub.add_parser("campaign",
+                       help="run the injection campaign "
+                            "(optionally across worker processes)")
+    add_variant(p)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = in-process serial run)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="shard count (default: one per worker)")
+    p.add_argument("--sample", type=int, default=None,
+                   help="randomly down-sample the fault list")
+    p.add_argument("--machines-per-pass", type=int, default=48)
+    p.add_argument("--full", action="store_true",
+                   help="use the full (slow) campaign workload")
+    p.add_argument("--progress", action="store_true",
+                   help="print per-shard progress lines")
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("compare",
                        help="baseline vs improved headline table")

@@ -34,6 +34,18 @@ from .manager import (
     OUTCOME_DU,
     OUTCOME_SAFE,
 )
+from .parallel import (
+    CampaignSpec,
+    CampaignStats,
+    GoldenTrace,
+    MemoryImageSetup,
+    ParallelCampaignRunner,
+    ShardStats,
+    compute_golden_trace,
+    run_shard,
+    shard_candidates,
+    snapshot_setup,
+)
 from .analyzer import (
     EffectComparison,
     ResultAnalyzer,
@@ -60,6 +72,9 @@ __all__ = [
     "CampaignConfig", "CampaignResult", "FaultInjectionManager",
     "FaultResult", "OUTCOME_DD", "OUTCOME_DETECTED_SAFE", "OUTCOME_DU",
     "OUTCOME_SAFE",
+    "CampaignSpec", "CampaignStats", "GoldenTrace", "MemoryImageSetup",
+    "ParallelCampaignRunner", "ShardStats", "compute_golden_trace",
+    "run_shard", "shard_candidates", "snapshot_setup",
     "EffectComparison", "ResultAnalyzer", "ZoneMeasurement",
     "Candidate", "FaultDictionary", "signature_of",
     "InjectionEnvironment", "build_environment",

@@ -64,6 +64,18 @@ class InjectionEnvironment:
             self.circuit, self.stimuli, zone_set=self.zone_set,
             setup=self.setup, config=config)
 
+    def spec(self, config: CampaignConfig | None = None):
+        """A picklable campaign spec for multi-process runs."""
+        from .parallel import CampaignSpec
+        return CampaignSpec.from_environment(self, config=config)
+
+    def runner(self, workers: int | None = None,
+               config: CampaignConfig | None = None, **kw):
+        """A :class:`ParallelCampaignRunner` over this environment."""
+        from .parallel import ParallelCampaignRunner
+        return ParallelCampaignRunner(self.spec(config), workers=workers,
+                                      **kw)
+
     # ------------------------------------------------------------------
     def as_config_dict(self) -> dict:
         """The 'environment configuration file' view of the setup."""

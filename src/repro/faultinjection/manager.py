@@ -113,16 +113,46 @@ class CampaignResult:
         return groups
 
     def measured_dc(self) -> float:
-        """Campaign-wide diagnostic coverage of dangerous failures."""
+        """Campaign-wide diagnostic coverage of dangerous failures.
+
+        An empty campaign claims no coverage (0.0): with zero
+        injections there is no evidence for the optimistic reading.
+        """
+        if not self.results:
+            return 0.0
         counts = self.outcomes()
         dangerous = counts[OUTCOME_DD] + counts[OUTCOME_DU]
         return counts[OUTCOME_DD] / dangerous if dangerous else 1.0
 
     def measured_safe_fraction(self) -> float:
+        if not self.results:
+            return 0.0
         counts = self.outcomes()
-        total = len(self.results)
         safe = counts[OUTCOME_SAFE] + counts[OUTCOME_DETECTED_SAFE]
-        return safe / total if total else 1.0
+        return safe / len(self.results)
+
+    def merge_run(self, other: "CampaignResult") -> None:
+        """Append another run's raw per-fault output to this one.
+
+        Used by the sharded campaign path: per-shard results are
+        concatenated in shard order so the merged ``results`` list is
+        identical to what a single serial run over the same candidate
+        order would produce.  Coverage bookkeeping is *not* merged here
+        — the campaign driver recomputes it over the merged results.
+        """
+        self.results.extend(other.results)
+        self.passes += other.passes
+        self.cycles_simulated += other.cycles_simulated
+        if other.seen0 is not None and other.seen1 is not None:
+            if self.seen0 is None:
+                self.seen0 = bytearray(len(other.seen0))
+                self.seen1 = bytearray(len(other.seen1))
+            for net, seen in enumerate(other.seen0):
+                if seen:
+                    self.seen0[net] = 1
+            for net, seen in enumerate(other.seen1):
+                if seen:
+                    self.seen1[net] = 1
 
 
 class FaultInjectionManager:
@@ -155,20 +185,43 @@ class FaultInjectionManager:
                             for i, f in enumerate(circuit.flops)}
 
     # ------------------------------------------------------------------
-    def run(self, candidates: CandidateList) -> CampaignResult:
+    def new_result(self) -> CampaignResult:
+        """An empty result carrying this campaign's outcome rules."""
         cfg = self.config
-        start = time.time()
-        result = CampaignResult(window=cfg.detection_window,
-                                test_windows=tuple(cfg.test_windows))
-        self._init_coverage(result.coverage, candidates)
+        return CampaignResult(window=cfg.detection_window,
+                              test_windows=tuple(cfg.test_windows))
 
-        faults = list(candidates.faults)
-        per_pass = max(1, cfg.machines_per_pass)
+    def run(self, candidates: CandidateList) -> CampaignResult:
+        start = time.time()
+        result = self.new_result()
+        self._init_coverage(result.coverage, candidates)
+        self.run_batches(list(candidates.faults), into=result)
+        self.fill_coverage(result)
+        result.wall_seconds = time.time() - start
+        return result
+
+    def run_batches(self, faults: list[Fault],
+                    into: CampaignResult | None = None,
+                    track_golden: bool = True) -> CampaignResult:
+        """The raw pass loop: simulate ``faults`` in per-pass batches.
+
+        This is the per-shard core shared by :meth:`run` and the
+        worker processes of the parallel campaign runner.  It performs
+        no coverage initialisation or post-processing; when
+        ``track_golden`` is false the golden-activity bookkeeping is
+        skipped too (the parallel runner computes the fault-free trace
+        once and shares it instead of recomputing it per batch).
+        """
+        result = into if into is not None else self.new_result()
+        per_pass = max(1, self.config.machines_per_pass)
         for lo in range(0, len(faults), per_pass):
             batch = faults[lo:lo + per_pass]
-            self._run_pass(batch, result)
+            self._run_pass(batch, result, track_golden=track_golden)
             result.passes += 1
+        return result
 
+    def fill_coverage(self, result: CampaignResult) -> None:
+        """Derive the coverage ledger from the per-fault results."""
         result.coverage.injections = len(result.results)
         for res in result.results:
             if res.sens_cycle is not None and res.fault.zone:
@@ -180,8 +233,6 @@ class FaultInjectionManager:
                     result.coverage.obse[point] = True
                 if point in result.coverage.diag:
                     result.coverage.diag[point] = True
-        result.wall_seconds = time.time() - start
-        return result
 
     def _init_coverage(self, cov: CoverageCollection,
                        candidates: CandidateList) -> None:
@@ -202,8 +253,8 @@ class FaultInjectionManager:
             cov.diag.setdefault(point.name, False)
 
     # ------------------------------------------------------------------
-    def _run_pass(self, batch: list[Fault],
-                  result: CampaignResult) -> None:
+    def _run_pass(self, batch: list[Fault], result: CampaignResult,
+                  track_golden: bool = True) -> None:
         machines = len(batch) + 1
         sim = Simulator(self.circuit, machines=machines,
                         collect_toggles=self.config.collect_toggles,
@@ -249,10 +300,12 @@ class FaultInjectionManager:
                             if res.obse_cycle is None:
                                 res.obse_cycle = cycle
                 # golden activity covers the OBSE item by itself
-                value = sim.value_of(nets)
-                if name in golden_prev and golden_prev[name] != value:
-                    result.coverage.obse[name] = True
-                golden_prev[name] = value
+                if track_golden:
+                    value = sim.value_of(nets)
+                    if name in golden_prev and \
+                            golden_prev[name] != value:
+                        result.coverage.obse[name] = True
+                    golden_prev[name] = value
 
             for name, nets in status_nets.items():
                 # status points: recorded in the effects table only
@@ -270,7 +323,7 @@ class FaultInjectionManager:
                     golden = full if v & 1 else 0
                     golden_raised = golden_raised or bool(v & 1)
                     raised |= v & ~golden
-                if golden_raised:
+                if golden_raised and track_golden:
                     # the workload itself exercises the diagnostic
                     result.coverage.diag[name] = True
                 if raised:

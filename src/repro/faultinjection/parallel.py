@@ -1,0 +1,419 @@
+"""Parallel sharded fault-injection campaigns.
+
+The serial :class:`~repro.faultinjection.manager.FaultInjectionManager`
+already multiplexes up to 63 faulty machines per simulator pass, but the
+passes themselves run one after another in a single Python process.
+This module distributes the passes across worker *processes*:
+
+* the candidate list is **deterministically sharded** into contiguous
+  per-worker batches (:func:`shard_candidates`) so that concatenating
+  the per-shard result lists in shard order reproduces the exact
+  per-fault ordering of the serial run;
+* every worker is created from a **picklable**
+  :class:`CampaignSpec` — circuit, stimuli, zones, observation points,
+  configuration and a picklable setup (see :class:`MemoryImageSetup`)
+  — and rebuilds its own manager once per process;
+* the **golden (fault-free) trace** is computed once in the parent
+  (:func:`compute_golden_trace`) and its activity bits are merged into
+  the final coverage ledger, instead of every batch re-deriving the
+  golden bookkeeping cycle by cycle;
+* per-shard wall-clock / fault-count statistics and a progress
+  callback give campaign observability.
+
+Because each fault occupies its own machine-bit and is only ever
+compared against machine 0 of its own pass, per-fault results are
+independent of how faults are grouped into passes; the merged
+:class:`~repro.faultinjection.manager.CampaignResult` is therefore
+bit-identical to the serial one in outcome counts, ``measured_dc`` and
+``measured_safe_fraction`` regardless of worker count or shard order
+(``tests/test_parallel_campaign.py`` proves this differentially).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+
+from ..hdl.netlist import Circuit
+from ..hdl.simulator import Simulator
+from ..zones.extractor import ZoneSet
+from ..zones.model import ObservationPoint, SensibleZone
+from .faultlist import CandidateList
+from .faults import Fault
+from .manager import (
+    CampaignConfig,
+    CampaignResult,
+    FaultInjectionManager,
+)
+
+
+# ----------------------------------------------------------------------
+# deterministic sharding
+# ----------------------------------------------------------------------
+def shard_candidates(faults: list[Fault],
+                     shards: int) -> list[list[Fault]]:
+    """Split ``faults`` into at most ``shards`` contiguous batches.
+
+    The split is a partition — every fault lands in exactly one shard —
+    and order-preserving: ``sum(shard_candidates(f, n), [])`` equals
+    ``list(f)`` for every ``n``, which is what makes the parallel merge
+    order independent of the worker count.  Shard sizes differ by at
+    most one, the earlier shards taking the remainder.
+    """
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    shards = min(shards, len(faults)) or 1
+    base, extra = divmod(len(faults), shards)
+    out: list[list[Fault]] = []
+    lo = 0
+    for index in range(shards):
+        hi = lo + base + (1 if index < extra else 0)
+        out.append(list(faults[lo:hi]))
+        lo = hi
+    return out
+
+
+# ----------------------------------------------------------------------
+# picklable campaign description
+# ----------------------------------------------------------------------
+@dataclass
+class MemoryImageSetup:
+    """Picklable stand-in for an arbitrary simulator ``setup`` callable.
+
+    Campaign setups in this repo load memory images (code preloads,
+    program ROMs) and occasionally force flop state; both are captured
+    here as plain data so worker processes can replay them.
+    """
+
+    mem_images: dict[str, list[int]] = field(default_factory=dict)
+    flop_values: dict[str, int] = field(default_factory=dict)
+
+    def __call__(self, sim: Simulator) -> None:
+        for name, image in self.mem_images.items():
+            sim.load_mem(name, image)
+        for name, value in self.flop_values.items():
+            sim.set_flop(name, value)
+
+
+def snapshot_setup(circuit: Circuit, setup) -> MemoryImageSetup | None:
+    """Run ``setup`` on a scratch simulator and capture its effect.
+
+    Only memory contents and flop state are captured; a setup that
+    programs fault overlays or drives inputs cannot be snapshotted and
+    must be given to :class:`CampaignSpec` as a picklable callable
+    directly.
+    """
+    if setup is None:
+        return None
+    if isinstance(setup, MemoryImageSetup):
+        return setup
+    probe = Simulator(circuit, machines=1)
+    setup(probe)
+    if probe._forced or probe._flop_flips or probe._net_glitches or \
+            probe._mem_flips or probe._bridges or probe._mem_stuck or \
+            probe._mem_coupling:
+        raise ValueError(
+            "setup programs fault overlays; pass a picklable setup "
+            "callable to CampaignSpec instead of snapshotting")
+    images = {}
+    for mi, mem in enumerate(circuit.memories):
+        images[mem.name] = [probe.read_mem_word(mi, w)
+                            for w in range(mem.depth)]
+    flops = {flop.name: probe.flop_value(fi)
+             for fi, flop in enumerate(circuit.flops)
+             if probe.flop_value(fi) != flop.init}
+    return MemoryImageSetup(mem_images=images, flop_values=flops)
+
+
+@dataclass
+class CampaignSpec:
+    """Everything a worker process needs to rebuild a campaign manager.
+
+    All fields are plain data (or picklable callables for ``setup``),
+    so the spec can cross a process boundary under any multiprocessing
+    start method.
+    """
+
+    circuit: Circuit
+    stimuli: list[dict[str, int]]
+    zones: list[SensibleZone] = field(default_factory=list)
+    observation_points: list[ObservationPoint] = field(
+        default_factory=list)
+    config: CampaignConfig = field(default_factory=CampaignConfig)
+    setup: MemoryImageSetup | None = None
+
+    @classmethod
+    def from_environment(cls, env, config: CampaignConfig | None = None
+                         ) -> "CampaignSpec":
+        """Derive a spec from an :class:`InjectionEnvironment`."""
+        config = config or CampaignConfig()
+        if not config.test_windows:
+            config.test_windows = env.test_windows
+        return cls(circuit=env.circuit,
+                   stimuli=list(env.stimuli),
+                   zones=list(env.zone_set.zones),
+                   observation_points=list(
+                       env.zone_set.observation_points),
+                   config=config,
+                   setup=snapshot_setup(env.circuit, env.setup))
+
+    @classmethod
+    def from_zone_set(cls, circuit: Circuit, stimuli, zone_set: ZoneSet,
+                      setup=None, config: CampaignConfig | None = None
+                      ) -> "CampaignSpec":
+        return cls(circuit=circuit, stimuli=list(stimuli),
+                   zones=list(zone_set.zones),
+                   observation_points=list(zone_set.observation_points),
+                   config=config or CampaignConfig(),
+                   setup=snapshot_setup(circuit, setup))
+
+    def manager(self) -> FaultInjectionManager:
+        zone_set = ZoneSet(circuit=self.circuit,
+                           zones=list(self.zones),
+                           observation_points=list(
+                               self.observation_points))
+        return FaultInjectionManager(self.circuit, self.stimuli,
+                                     zone_set=zone_set,
+                                     setup=self.setup,
+                                     config=self.config)
+
+
+# ----------------------------------------------------------------------
+# golden-run cache
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GoldenTrace:
+    """Fault-free reference activity, computed once per campaign.
+
+    ``obse_active`` are the functional points the workload itself
+    toggles (they self-cover their OBSE items); ``diag_active`` are the
+    diagnostics the workload exercises without any fault present.
+    Workers run with golden bookkeeping disabled and these bits are
+    merged into the final coverage ledger exactly once.
+    """
+
+    cycles: int
+    obse_active: tuple[str, ...]
+    diag_active: tuple[str, ...]
+    wall_seconds: float = 0.0
+
+
+def compute_golden_trace(manager: FaultInjectionManager) -> GoldenTrace:
+    """One fault-free run of the workload, recording activity bits."""
+    start = time.time()
+    sim = Simulator(manager.circuit, machines=1)
+    if manager.setup is not None:
+        manager.setup(sim)
+    stimuli = manager.stimuli
+    if manager.config.max_cycles is not None:
+        stimuli = stimuli[:manager.config.max_cycles]
+    func_nets = {p.name: list(p.nets) for p in manager.functional}
+    diag_nets = {p.name: list(p.nets) for p in manager.diagnostic}
+    prev: dict[str, int] = {}
+    obse: set[str] = set()
+    diag: set[str] = set()
+    for inputs in stimuli:
+        sim.step_eval(inputs)
+        for name, nets in func_nets.items():
+            value = sim.value_of(nets)
+            if name in prev and prev[name] != value:
+                obse.add(name)
+            prev[name] = value
+        for name, nets in diag_nets.items():
+            if name not in diag and \
+                    any(sim.peek(net) & 1 for net in nets):
+                diag.add(name)
+        sim.step_commit()
+    return GoldenTrace(cycles=len(stimuli),
+                       obse_active=tuple(sorted(obse)),
+                       diag_active=tuple(sorted(diag)),
+                       wall_seconds=time.time() - start)
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def run_shard(spec: CampaignSpec, shard: list[Fault],
+              track_golden: bool = True) -> CampaignResult:
+    """Pure per-shard core: spec + faults in, raw results out.
+
+    Stateless and picklable end to end — this is the function the
+    campaign is really made of; everything else is distribution and
+    merging.
+    """
+    return spec.manager().run_batches(list(shard),
+                                      track_golden=track_golden)
+
+
+_WORKER_MANAGER: FaultInjectionManager | None = None
+
+
+def _worker_init(spec: CampaignSpec) -> None:
+    global _WORKER_MANAGER
+    _WORKER_MANAGER = spec.manager()
+
+
+def _worker_run(index: int, shard: list[Fault]):
+    start = time.time()
+    result = _WORKER_MANAGER.run_batches(list(shard),
+                                         track_golden=False)
+    return index, os.getpid(), result, time.time() - start
+
+
+# ----------------------------------------------------------------------
+# observability
+# ----------------------------------------------------------------------
+@dataclass
+class ShardStats:
+    """Timing and volume of one shard's execution."""
+
+    shard: int
+    worker: int          # OS pid of the executing worker
+    faults: int
+    passes: int
+    cycles: int
+    wall_seconds: float
+
+
+@dataclass
+class CampaignStats:
+    """Per-worker observability for one parallel campaign run."""
+
+    workers: int
+    total_faults: int = 0
+    golden_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    shards: list[ShardStats] = field(default_factory=list)
+
+    def by_worker(self) -> dict[int, list[ShardStats]]:
+        groups: dict[int, list[ShardStats]] = {}
+        for stats in self.shards:
+            groups.setdefault(stats.worker, []).append(stats)
+        return groups
+
+    def summary(self) -> str:
+        lines = [f"=== campaign: {self.total_faults} faults, "
+                 f"{self.workers} worker(s), "
+                 f"{len(self.shards)} shard(s), "
+                 f"{self.wall_seconds:.2f}s wall "
+                 f"(golden trace {self.golden_seconds:.2f}s) ==="]
+        for pid, shards in sorted(self.by_worker().items()):
+            faults = sum(s.faults for s in shards)
+            busy = sum(s.wall_seconds for s in shards)
+            lines.append(f"worker {pid}: {faults} faults in "
+                         f"{len(shards)} shard(s), {busy:.2f}s busy")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+class ParallelCampaignRunner:
+    """Runs a campaign spec across worker processes, deterministically.
+
+    ``workers=1`` falls back to the in-process serial manager.  For
+    ``workers=N`` the candidates are sharded (``shards`` defaults to
+    the worker count), executed by a process pool, and merged in shard
+    order; ``progress(done, total)`` is invoked in the parent each
+    time a shard completes.  ``last_stats`` holds the
+    :class:`CampaignStats` of the most recent run.
+    """
+
+    def __init__(self, spec: CampaignSpec, workers: int | None = None,
+                 shards: int | None = None, progress=None,
+                 start_method: str | None = None):
+        if workers is not None and workers < 1:
+            raise ValueError("need at least one worker")
+        self.spec = spec
+        self.workers = workers if workers is not None \
+            else (os.cpu_count() or 1)
+        self.shards = shards
+        self.progress = progress
+        self.start_method = start_method
+        self.last_stats: CampaignStats | None = None
+
+    # ------------------------------------------------------------------
+    def run(self, candidates: CandidateList) -> CampaignResult:
+        faults = list(candidates.faults)
+        if self.workers == 1 or len(faults) <= 1:
+            return self._run_serial(candidates)
+        return self._run_sharded(candidates)
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, candidates: CandidateList) -> CampaignResult:
+        start = time.time()
+        result = self.spec.manager().run(candidates)
+        stats = CampaignStats(workers=1,
+                              total_faults=len(result.results),
+                              wall_seconds=time.time() - start)
+        stats.shards.append(ShardStats(
+            shard=0, worker=os.getpid(), faults=len(result.results),
+            passes=result.passes, cycles=result.cycles_simulated,
+            wall_seconds=result.wall_seconds))
+        self.last_stats = stats
+        if self.progress is not None:
+            self.progress(len(result.results), len(result.results))
+        return result
+
+    def _run_sharded(self, candidates: CandidateList) -> CampaignResult:
+        start = time.time()
+        manager = self.spec.manager()
+        golden = compute_golden_trace(manager)
+        shards = shard_candidates(list(candidates.faults),
+                                  self.shards or self.workers)
+        total = len(candidates.faults)
+
+        stats = CampaignStats(workers=min(self.workers, len(shards)),
+                              total_faults=total,
+                              golden_seconds=golden.wall_seconds)
+        method = self.start_method or _default_start_method()
+        outputs: dict[int, CampaignResult] = {}
+        done = 0
+        with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(shards)),
+                mp_context=get_context(method),
+                initializer=_worker_init,
+                initargs=(self.spec,)) as pool:
+            futures = [pool.submit(_worker_run, index, shard)
+                       for index, shard in enumerate(shards)]
+            for future in as_completed(futures):
+                index, pid, shard_result, seconds = future.result()
+                outputs[index] = shard_result
+                stats.shards.append(ShardStats(
+                    shard=index, worker=pid,
+                    faults=len(shard_result.results),
+                    passes=shard_result.passes,
+                    cycles=shard_result.cycles_simulated,
+                    wall_seconds=seconds))
+                done += len(shard_result.results)
+                if self.progress is not None:
+                    self.progress(done, total)
+
+        result = manager.new_result()
+        manager._init_coverage(result.coverage, candidates)
+        for index in range(len(shards)):
+            result.merge_run(outputs[index])
+        for name in golden.obse_active:
+            result.coverage.obse[name] = True
+        for name in golden.diag_active:
+            result.coverage.diag[name] = True
+        manager.fill_coverage(result)
+        result.wall_seconds = time.time() - start
+        stats.wall_seconds = result.wall_seconds
+        stats.shards.sort(key=lambda s: s.shard)
+        self.last_stats = stats
+        return result
+
+
+def _default_start_method() -> str:
+    """``fork`` where available (cheap on Linux), else ``spawn``.
+
+    Every payload crossing the pool boundary is picklable either way;
+    fork merely skips re-importing the package per worker.
+    """
+    import multiprocessing
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() \
+        else "spawn"

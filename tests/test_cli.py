@@ -72,6 +72,24 @@ def test_compare_command(capsys):
     assert "no" in base_line and "yes" in impr_line
 
 
+def test_campaign_command_serial(capsys):
+    code, out = run_cli(capsys, "campaign", "--variant",
+                        "small-improved", "--sample", "24")
+    assert code == 0
+    assert "measured DC" in out
+    assert "1 worker(s)" in out
+
+
+def test_campaign_command_sharded(capsys):
+    code, out = run_cli(capsys, "campaign", "--variant",
+                        "small-improved", "--sample", "24",
+                        "--workers", "2", "--progress")
+    assert code == 0
+    assert "24 faults" in out
+    assert "2 worker(s)" in out
+    assert "24/24 faults simulated" in out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

@@ -1,0 +1,262 @@
+"""Differential tests: the sharded parallel campaign runner must be
+bit-identical to the serial :class:`FaultInjectionManager` path.
+
+The safety metrics (DC, SFF) extracted from a campaign are only
+trustworthy if distributing the faults over worker processes cannot
+shift them — so every worker count is checked against the serial
+reference fault by fault, not just in aggregate.
+"""
+
+import json
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.faultinjection import (
+    CampaignConfig,
+    CampaignResult,
+    CampaignSpec,
+    CandidateList,
+    FaultInjectionManager,
+    MemoryImageSetup,
+    ParallelCampaignRunner,
+    SeuFault,
+    StuckNetFault,
+    build_environment,
+    compute_golden_trace,
+    run_shard,
+    shard_candidates,
+    snapshot_setup,
+)
+from repro.soc import MemorySubsystem, SubsystemConfig
+from repro.soc.minicpu import CpuConfig, MiniCpu, assemble
+from repro.zones import ZoneKind, extract_zones
+
+DATA = Path(__file__).parent / "data"
+
+
+# ----------------------------------------------------------------------
+# fmem (memory subsystem) campaign
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def env():
+    sub = MemorySubsystem(SubsystemConfig.small_improved())
+    return build_environment(sub, quick=True)
+
+
+@pytest.fixture(scope="module")
+def candidates(env):
+    return env.candidates()
+
+
+@pytest.fixture(scope="module")
+def serial(env, candidates):
+    return env.manager(CampaignConfig()).run(candidates)
+
+
+def _fault_rows(campaign):
+    """The full per-fault record, in result order."""
+    return [(res.fault.name, res.sens_cycle, res.obse_cycle,
+             res.diag_cycle, res.first_alarm, res.effects)
+            for res in campaign.results]
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_fmem_parallel_equals_serial(env, candidates, serial, workers):
+    runner = ParallelCampaignRunner(env.spec(), workers=workers)
+    campaign = runner.run(candidates)
+    assert campaign.outcomes() == serial.outcomes()
+    assert campaign.measured_dc() == serial.measured_dc()
+    assert campaign.measured_safe_fraction() == \
+        serial.measured_safe_fraction()
+    assert _fault_rows(campaign) == _fault_rows(serial)
+
+
+def test_fmem_parallel_coverage_equals_serial(env, candidates, serial):
+    campaign = ParallelCampaignRunner(env.spec(), workers=2) \
+        .run(candidates)
+    assert campaign.coverage.sens == serial.coverage.sens
+    assert campaign.coverage.obse == serial.coverage.obse
+    assert campaign.coverage.diag == serial.coverage.diag
+    assert campaign.coverage.mismatches == serial.coverage.mismatches
+    assert campaign.coverage.injections == serial.coverage.injections
+
+
+def test_shard_count_does_not_change_results(env, candidates, serial):
+    # more shards than workers: shard order, not completion order,
+    # must drive the merge
+    runner = ParallelCampaignRunner(env.spec(), workers=2, shards=7)
+    campaign = runner.run(candidates)
+    assert _fault_rows(campaign) == _fault_rows(serial)
+
+
+# ----------------------------------------------------------------------
+# minicpu campaign
+# ----------------------------------------------------------------------
+PROG = [("ldi", 5), ("st", 0), ("ldi", 3), ("add", 0), ("out",),
+        ("xor", 0), ("st", 1), ("ld", 1), ("out",), ("jnz", 0)]
+
+
+@pytest.fixture(scope="module")
+def cpu_setup():
+    cpu = MiniCpu(CpuConfig.plain())
+    zone_set = extract_zones(cpu.circuit)
+    stimuli = [cpu.idle(rst=1)] * 2 + [cpu.idle()] * 40
+    zone_of = {}
+    for zone in zone_set.of_kind(ZoneKind.REGISTER):
+        for flop in zone.flops:
+            zone_of[flop] = zone.name
+    flops = [f.name for f in cpu.circuit.flops
+             if f.name in zone_of][:8]
+    faults = []
+    for i, flop in enumerate(flops):
+        faults.append(SeuFault(target=flop, zone=zone_of[flop],
+                               offset=5 + (i % 7)))
+        faults.append(StuckNetFault(target=flop, zone=zone_of[flop],
+                                    value=i % 2))
+    spec = CampaignSpec.from_zone_set(
+        cpu.circuit, stimuli, zone_set,
+        setup=MemoryImageSetup(
+            mem_images={"imem/rom": assemble(PROG)}))
+    return cpu, zone_set, stimuli, CandidateList(faults=faults), spec
+
+
+@pytest.fixture(scope="module")
+def cpu_serial(cpu_setup):
+    cpu, zone_set, stimuli, candidates, _ = cpu_setup
+    manager = FaultInjectionManager(
+        cpu.circuit, stimuli, zone_set=zone_set,
+        setup=lambda sim: sim.load_mem("imem/rom", assemble(PROG)))
+    return manager.run(candidates)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_minicpu_parallel_equals_serial(cpu_setup, cpu_serial, workers):
+    *_, candidates, spec = cpu_setup
+    campaign = ParallelCampaignRunner(spec, workers=workers) \
+        .run(candidates)
+    assert campaign.outcomes() == cpu_serial.outcomes()
+    assert campaign.measured_dc() == cpu_serial.measured_dc()
+    assert campaign.measured_safe_fraction() == \
+        cpu_serial.measured_safe_fraction()
+    assert _fault_rows(campaign) == _fault_rows(cpu_serial)
+
+
+# ----------------------------------------------------------------------
+# spec / setup picklability
+# ----------------------------------------------------------------------
+def test_campaign_spec_round_trips_through_pickle(env, candidates,
+                                                  serial):
+    spec = pickle.loads(pickle.dumps(env.spec()))
+    shard = list(candidates.faults[:12])
+    out = run_shard(spec, shard)
+    assert [r.fault.name for r in out.results] == \
+        [f.name for f in shard]
+    assert _fault_rows(out) == _fault_rows(serial)[:12]
+
+
+def test_snapshot_setup_captures_preload(env):
+    snap = snapshot_setup(env.circuit, env.setup)
+    assert isinstance(snap, MemoryImageSetup)
+    assert "memarray/array" in snap.mem_images
+    # the preload writes valid codewords, not an all-zero image
+    assert any(snap.mem_images["memarray/array"])
+
+
+def test_snapshot_setup_refuses_fault_overlays(env):
+    with pytest.raises(ValueError):
+        snapshot_setup(env.circuit,
+                       lambda sim: sim.stick_net(0, 1))
+
+
+# ----------------------------------------------------------------------
+# golden-run cache
+# ----------------------------------------------------------------------
+def test_golden_trace_matches_serial_coverage(env, serial):
+    trace = compute_golden_trace(env.manager(CampaignConfig()))
+    assert trace.cycles == len(env.stimuli)
+    # the validation workload reads data back, so the functional bus
+    # output toggles in the fault-free run
+    assert "hrdata" in trace.obse_active
+    # every item the shared trace credits to workload activity is also
+    # credited by the serial campaign's per-pass golden bookkeeping
+    assert all(serial.coverage.obse[name]
+               for name in trace.obse_active)
+    assert all(serial.coverage.diag[name]
+               for name in trace.diag_active)
+    # and it is deterministic: recomputing yields the same bits
+    again = compute_golden_trace(env.manager(CampaignConfig()))
+    assert again.obse_active == trace.obse_active
+    assert again.diag_active == trace.diag_active
+
+
+# ----------------------------------------------------------------------
+# observability
+# ----------------------------------------------------------------------
+def test_runner_stats_and_progress(env, candidates):
+    seen = []
+    runner = ParallelCampaignRunner(
+        env.spec(), workers=2,
+        progress=lambda done, total: seen.append((done, total)))
+    campaign = runner.run(candidates)
+    total = len(candidates.faults)
+    assert seen and seen[-1] == (total, total)
+    assert [done for done, _ in seen] == \
+        sorted(done for done, _ in seen)
+    stats = runner.last_stats
+    assert stats is not None
+    assert sum(s.faults for s in stats.shards) == total
+    assert all(s.wall_seconds >= 0 for s in stats.shards)
+    assert stats.total_faults == len(campaign.results)
+    assert "worker" in stats.summary()
+
+
+def test_shard_stats_in_serial_fallback(env, candidates):
+    runner = ParallelCampaignRunner(env.spec(), workers=1)
+    runner.run(candidates)
+    assert len(runner.last_stats.shards) == 1
+    assert runner.last_stats.shards[0].faults == len(candidates.faults)
+
+
+# ----------------------------------------------------------------------
+# empty campaigns (regression: metrics must not divide by zero)
+# ----------------------------------------------------------------------
+def test_empty_campaign_metrics_are_zero(env):
+    campaign = env.manager(CampaignConfig()).run(CandidateList())
+    assert campaign.results == []
+    assert campaign.measured_dc() == 0.0
+    assert campaign.measured_safe_fraction() == 0.0
+    assert CampaignResult().measured_dc() == 0.0
+    assert CampaignResult().measured_safe_fraction() == 0.0
+
+
+def test_empty_campaign_through_runner(env):
+    campaign = ParallelCampaignRunner(env.spec(), workers=4) \
+        .run(CandidateList())
+    assert campaign.results == []
+    assert campaign.measured_dc() == 0.0
+    assert campaign.measured_safe_fraction() == 0.0
+
+
+# ----------------------------------------------------------------------
+# golden-file regression: the fmem campaign summary is frozen
+# ----------------------------------------------------------------------
+def campaign_summary(campaign) -> dict:
+    """The committed snapshot view of a campaign."""
+    return {
+        "injections": len(campaign.results),
+        "outcomes": campaign.outcomes(),
+        "measured_dc": round(campaign.measured_dc(), 12),
+        "measured_safe_fraction": round(
+            campaign.measured_safe_fraction(), 12),
+        "per_fault_outcomes": [
+            [res.fault.name, campaign.outcome_of(res)]
+            for res in campaign.results],
+    }
+
+
+def test_fmem_campaign_matches_golden_file(serial):
+    expected = json.loads(
+        (DATA / "fmem_small_campaign.json").read_text())
+    assert campaign_summary(serial) == expected

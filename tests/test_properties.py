@@ -17,7 +17,12 @@ from repro.hdl import Module, Simulator
 from repro.iec61508 import FailureRates
 from repro.soc import MemorySubsystem, SubsystemConfig
 from repro.zones import ZoneKind, extract_zones, predict_effects_table
-from repro.faultinjection import CandidateList, StuckNetFault, collapse
+from repro.faultinjection import (
+    CandidateList,
+    StuckNetFault,
+    collapse,
+    shard_candidates,
+)
 
 
 # ----------------------------------------------------------------------
@@ -210,3 +215,45 @@ def test_collapse_idempotent(pairs):
     assert [f.name for f in once.faults] == \
         [f.name for f in twice.faults]
     assert len({f.name for f in once.faults}) == len(once.faults)
+
+
+# ----------------------------------------------------------------------
+# campaign sharding invariants
+# ----------------------------------------------------------------------
+def _numbered_faults(n):
+    return [StuckNetFault(target=f"net{i}", value=i % 2)
+            for i in range(n)]
+
+
+@given(st.integers(0, 200), st.integers(1, 8))
+@settings(deadline=None)
+def test_sharding_partitions_the_fault_list(n, shards):
+    """Shards are a partition: no fault lost, none duplicated, order
+    preserved, and sizes balanced to within one fault."""
+    faults = _numbered_faults(n)
+    batches = shard_candidates(faults, shards)
+    merged = [fault for batch in batches for fault in batch]
+    assert merged == faults
+    assert len(batches) == (min(shards, n) or 1)
+    sizes = [len(batch) for batch in batches]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(st.integers(0, 120))
+@settings(deadline=None)
+def test_shard_merge_order_independent_of_worker_count(n):
+    """Concatenating shards in shard order reproduces the candidate
+    order for *every* worker count — the invariant that makes the
+    parallel campaign's per-fault ordering equal to the serial run."""
+    faults = _numbered_faults(n)
+    reference = [fault.name for fault in faults]
+    for shards in range(1, 10):
+        merged = [fault.name
+                  for batch in shard_candidates(faults, shards)
+                  for fault in batch]
+        assert merged == reference
+
+
+def test_sharding_rejects_nonpositive_counts():
+    with pytest.raises(ValueError):
+        shard_candidates(_numbered_faults(3), 0)
