@@ -11,13 +11,22 @@ Runs the exhaustive zone campaign on the reduced improved subsystem
 measured DC does not fall short of the claimed DC, the measured effects
 table is structurally consistent, and the campaign throughput is
 reported.
+
+Besides the usual pytest-benchmark console table, this module writes a
+machine-readable ``BENCH_campaign.json`` (into ``$BENCH_JSON_DIR``,
+default the current directory) with every benchmark's timing stats and
+paper-vs-measured numbers, so CI can archive campaign performance as a
+build artifact.
 """
 
+import json
 import os
+from pathlib import Path
 
 from conftest import report
 
 from repro.faultinjection import (
+    CampaignCache,
     CampaignConfig,
     CampaignSpec,
     FaultListConfig,
@@ -28,6 +37,36 @@ from repro.faultinjection import (
 from repro.zones import predict_effects_table
 
 import pytest
+
+_RECORDS: dict[str, dict] = {}
+
+
+@pytest.fixture(autouse=True)
+def _collect_record(request):
+    """Mirror each benchmark's stats + extra_info into the JSON log."""
+    yield
+    bench = request.node.funcargs.get("benchmark")
+    if bench is None or getattr(bench, "stats", None) is None:
+        return
+    entry = {"extra_info": dict(bench.extra_info)}
+    entry["timing"] = {
+        key: value for key, value in bench.stats.stats.as_dict().items()
+        if key in ("min", "max", "mean", "stddev", "median", "rounds",
+                   "ops")}
+    _RECORDS[request.node.name] = entry
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    """Write ``BENCH_campaign.json`` once the module is done."""
+    yield
+    if not _RECORDS:
+        return
+    out = Path(os.environ.get("BENCH_JSON_DIR", ".")) \
+        / "BENCH_campaign.json"
+    out.write_text(json.dumps(
+        {"suite": "bench_injection_campaign", "records": _RECORDS},
+        indent=2, sort_keys=True))
 
 
 @pytest.fixture(scope="module")
@@ -141,3 +180,48 @@ def test_campaign_sharded_worker_speedup(benchmark, env):
     # the speedup target only holds where the cores exist to back it
     if (os.cpu_count() or 1) >= workers:
         assert speedup >= 1.5
+
+
+def test_campaign_cache_warm_speedup(benchmark, env, tmp_path_factory):
+    """Cold (populating) vs warm (fully cached) campaign store runs.
+
+    The warm rerun must perform **zero** fault simulations — every
+    outcome is served by content address — and, provided the cold run
+    was long enough to measure, finish at least 5x faster.
+    """
+    store = tmp_path_factory.mktemp("bench_store") / "campaign"
+    candidates = env.candidates()
+    spec = env.spec()
+
+    with CampaignCache(store) as cache:
+        cold = ParallelCampaignRunner(spec, workers=1,
+                                      cache=cache).run(candidates)
+        assert cache.stats.simulated == len(candidates.faults)
+    cold_seconds = cold.wall_seconds
+
+    def warm():
+        with CampaignCache(store) as cache:
+            result = ParallelCampaignRunner(
+                spec, workers=1, cache=cache).run(candidates)
+            result.cache_stats = cache.stats
+            return result
+
+    campaign = benchmark(warm)
+    stats = campaign.cache_stats
+    assert stats.simulated == 0
+    assert stats.hits == len(candidates.faults)
+    assert campaign.measured_dc() == cold.measured_dc()
+    assert campaign.measured_safe_fraction() == \
+        cold.measured_safe_fraction()
+
+    speedup = cold_seconds / max(campaign.wall_seconds, 1e-9)
+    report(benchmark,
+           injections=len(campaign.results),
+           cold_s=f"{cold_seconds:.2f}",
+           warm_s=f"{campaign.wall_seconds:.2f}",
+           warm_speedup=f"{speedup:.1f}x",
+           hit_rate=f"{stats.hit_rate() * 100:.1f}%",
+           faults_simulated_warm=stats.simulated)
+    # below ~0.2s of cold work the ratio is dominated by fixed costs
+    if cold_seconds > 0.2:
+        assert speedup >= 5

@@ -13,8 +13,10 @@ Exposes the methodology end to end from a shell::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from . import __version__
 from .fmea.report import full_report
 from .fmea.sensitivity import stability_report
 from .hdl.verilog import write_verilog
@@ -22,6 +24,25 @@ from .iec61508.sil import SIL, max_sil
 from .reporting.tables import pct, render_kv, render_table
 from .soc.config import SubsystemConfig
 from .soc.subsystem import MemorySubsystem
+
+
+#: default campaign-store directory; overridable per invocation with
+#: ``--store`` or globally with the ``SOCFMEA_STORE`` environment
+#: variable
+DEFAULT_STORE = ".socfmea_store"
+
+
+def resolve_store_path(args) -> str:
+    """``--store`` beats ``$SOCFMEA_STORE`` beats the default."""
+    path = getattr(args, "store", None)
+    if path:
+        return path
+    return os.environ.get("SOCFMEA_STORE") or DEFAULT_STORE
+
+
+def _open_store(args):
+    from .store import CampaignCache
+    return CampaignCache(resolve_store_path(args))
 
 
 def _make_subsystem(args) -> MemorySubsystem:
@@ -169,10 +190,12 @@ def cmd_campaign(args) -> int:
         def progress(done, total):
             print(f"  {done}/{total} faults simulated", flush=True)
 
+    cache = None if args.no_cache else _open_store(args)
     config = CampaignConfig(machines_per_pass=args.machines_per_pass)
     runner = ParallelCampaignRunner(
         CampaignSpec.from_environment(env, config=config),
-        workers=args.workers, shards=args.shards, progress=progress)
+        workers=args.workers, shards=args.shards, progress=progress,
+        cache=cache)
     campaign = runner.run(candidates)
 
     counts = campaign.outcomes()
@@ -187,7 +210,83 @@ def cmd_campaign(args) -> int:
           f"{pct(campaign.measured_safe_fraction())}")
     if runner.last_stats is not None:
         print(runner.last_stats.summary())
+    if cache is not None:
+        print(cache.stats.summary())
+        cache.close()
     return 0
+
+
+def cmd_store(args) -> int:
+    """Inspect, query, diff and collect the campaign store."""
+    import json
+
+    from .store import diff_runs, gc_store, store_stats
+    from .store.query import run_summary_rows
+
+    cache = _open_store(args)
+    try:
+        if args.store_command == "stats":
+            print(render_kv(store_stats(cache).as_pairs(),
+                            title="=== campaign store ==="))
+            return 0
+
+        if args.store_command == "query":
+            if args.run is not None:
+                run = cache.db.run(args.run)
+                if run is None:
+                    print(f"error: no recorded run #{args.run}",
+                          file=sys.stderr)
+                    return 1
+                pairs = [(k, run[k]) for k in
+                         ("run_id", "status", "design", "faults",
+                          "hits", "misses", "workers",
+                          "wall_seconds")]
+                counts = json.loads(run["outcome_counts"] or "{}")
+                pairs += [("outcome " + k, v)
+                          for k, v in counts.items()]
+                if run["measured_dc"] is not None:
+                    pairs.append(("measured DC",
+                                  pct(run["measured_dc"])))
+                if run["safe_fraction"] is not None:
+                    pairs.append(("safe fraction",
+                                  pct(run["safe_fraction"])))
+                print(render_kv(pairs,
+                                title=f"=== run #{args.run} ==="))
+                return 0
+            rows = run_summary_rows(cache, limit=args.limit,
+                                    design=args.design)
+            if not rows:
+                print("store has no recorded runs")
+                return 0
+            print(render_table(
+                ["run", "status", "design", "faults", "hits",
+                 "misses", "DC", "safe", "DU", "wall"],
+                rows, title="=== recorded campaign runs ==="))
+            return 0
+
+        if args.store_command == "diff":
+            from .reporting.rundiff import render_run_diff
+            try:
+                diff = diff_runs(cache, args.run_a, args.run_b)
+            except ValueError as err:
+                print(f"error: {err}", file=sys.stderr)
+                return 1
+            print(render_run_diff(diff))
+            return 1 if diff.regressed_zones() else 0
+
+        if args.store_command == "gc":
+            result = gc_store(cache, keep_runs=args.keep)
+            print(render_kv([
+                ("runs removed", result.runs_removed),
+                ("outcomes removed", result.outcomes_removed),
+                ("blobs removed", result.blobs_removed),
+                ("bytes reclaimed", result.bytes_reclaimed),
+            ], title=f"=== store gc (kept last {args.keep} "
+                     f"runs) ==="))
+            return 0
+        raise AssertionError(args.store_command)
+    finally:
+        cache.close()
 
 
 def cmd_compare(args) -> int:
@@ -215,7 +314,21 @@ def build_parser() -> argparse.ArgumentParser:
         prog="soc-fmea",
         description="SoC-level FMEA for IEC 61508 (DATE'07 "
                     "reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="campaign-store directory (default: $SOCFMEA_STORE or "
+             f"{DEFAULT_STORE}/)")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_store(p):
+        # SUPPRESS keeps a top-level ``--store`` from being clobbered
+        # by the subparser's default when the flag follows the command
+        p.add_argument(
+            "--store", default=argparse.SUPPRESS, metavar="PATH",
+            help="campaign-store directory (default: $SOCFMEA_STORE "
+                 f"or {DEFAULT_STORE}/)")
 
     def add_variant(p):
         p.add_argument("--variant", default="improved",
@@ -294,7 +407,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the full (slow) campaign workload")
     p.add_argument("--progress", action="store_true",
                    help="print per-shard progress lines")
+    add_store(p)
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the campaign store: simulate every "
+                        "fault and record nothing")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("store",
+                       help="inspect and query the campaign store")
+    add_store(p)
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+
+    sp = store_sub.add_parser("stats", help="store-wide statistics")
+    add_store(sp)
+    sp.set_defaults(func=cmd_store)
+
+    sp = store_sub.add_parser("query", help="list recorded runs")
+    add_store(sp)
+    sp.add_argument("--run", type=int, default=None,
+                    help="show one run in detail")
+    sp.add_argument("--design", default=None,
+                    help="only runs of this design")
+    sp.add_argument("--limit", type=int, default=20)
+    sp.set_defaults(func=cmd_store)
+
+    sp = store_sub.add_parser(
+        "diff", help="compare two recorded runs zone by zone")
+    add_store(sp)
+    sp.add_argument("run_a", type=int, nargs="?", default=None,
+                    help="reference run id (default: second newest)")
+    sp.add_argument("run_b", type=int, nargs="?", default=None,
+                    help="candidate run id (default: newest)")
+    sp.set_defaults(func=cmd_store)
+
+    sp = store_sub.add_parser(
+        "gc", help="drop old runs and unreferenced blobs")
+    add_store(sp)
+    sp.add_argument("--keep", type=int, default=10,
+                    help="completed runs to keep (default: 10)")
+    sp.set_defaults(func=cmd_store)
 
     p = sub.add_parser("compare",
                        help="baseline vs improved headline table")

@@ -61,13 +61,32 @@ from .validation import (
     run_validation,
 )
 
+# Campaign-store types re-exported lazily (PEP 562): repro.store
+# imports the campaign engines above, so a module-level import here
+# would be circular.
+_STORE_EXPORTS = (
+    "BlobStore", "CacheStats", "CampaignCache", "CampaignPlan",
+    "CorruptBlobError", "FingerprintContext", "OutcomeRow", "StoreDB",
+    "SupportIndex",
+)
+
+
+def __getattr__(name: str):
+    if name in _STORE_EXPORTS:
+        from .. import store
+        return getattr(store, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "ArmedFault", "BridgeFault", "Fault", "GlobalStuckFault",
     "MbuFault", "MemCouplingFault", "MemFlipFault", "MemStuckFault", "SetFault",
     "SeuFault", "StuckNetFault",
     "MemAccess", "OperationalProfile", "profile_workload",
     "CandidateList", "FaultListConfig", "collapse",
-    "generate_gate_faults", "generate_zone_faults", "randomize",
+    "generate_cone_faults", "generate_gate_faults",
+    "generate_zone_faults", "randomize",
     "CoverageCollection",
     "CampaignConfig", "CampaignResult", "FaultInjectionManager",
     "FaultResult", "OUTCOME_DD", "OUTCOME_DETECTED_SAFE", "OUTCOME_DU",
@@ -81,4 +100,5 @@ __all__ = [
     "FaultSimReport", "simulate_faults",
     "StepResult", "ValidationConfig", "ValidationReport",
     "run_validation",
+    *_STORE_EXPORTS,
 ]

@@ -191,7 +191,14 @@ class FaultInjectionManager:
         return CampaignResult(window=cfg.detection_window,
                               test_windows=tuple(cfg.test_windows))
 
-    def run(self, candidates: CandidateList) -> CampaignResult:
+    def run(self, candidates: CandidateList,
+            cache=None) -> CampaignResult:
+        """Run the campaign; with ``cache`` (a
+        :class:`repro.store.CampaignCache`) previously stored outcomes
+        are served from the content-addressed store and only cache
+        misses are simulated — bit-identical either way."""
+        if cache is not None:
+            return cache.run_serial(self, candidates)
         start = time.time()
         result = self.new_result()
         self._init_coverage(result.coverage, candidates)

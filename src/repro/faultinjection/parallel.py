@@ -324,7 +324,7 @@ class ParallelCampaignRunner:
 
     def __init__(self, spec: CampaignSpec, workers: int | None = None,
                  shards: int | None = None, progress=None,
-                 start_method: str | None = None):
+                 start_method: str | None = None, cache=None):
         if workers is not None and workers < 1:
             raise ValueError("need at least one worker")
         self.spec = spec
@@ -333,10 +333,18 @@ class ParallelCampaignRunner:
         self.shards = shards
         self.progress = progress
         self.start_method = start_method
+        #: optional :class:`repro.store.CampaignCache`: cached faults
+        #: are served from the store, only misses are sharded
+        self.cache = cache
         self.last_stats: CampaignStats | None = None
 
     # ------------------------------------------------------------------
     def run(self, candidates: CandidateList) -> CampaignResult:
+        if self.cache is not None:
+            return self.cache.run_parallel(self, candidates)
+        return self.run_uncached(candidates)
+
+    def run_uncached(self, candidates: CandidateList) -> CampaignResult:
         faults = list(candidates.faults)
         if self.workers == 1 or len(faults) <= 1:
             return self._run_serial(candidates)

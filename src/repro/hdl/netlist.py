@@ -335,6 +335,57 @@ class Circuit:
             "outputs": len(self.output_nets()),
         }
 
+    # ------------------------------------------------------------------
+    # canonical serialization (content addressing)
+    # ------------------------------------------------------------------
+    def canonical_dict(self) -> dict:
+        """A deterministic, name-based view of the circuit's behaviour.
+
+        Net *indices* are an artifact of construction order, so every
+        reference is resolved to its net name and the element lists are
+        sorted by a unique key (driven net for gates, element name for
+        flops and memories).  Instance paths are cosmetic — they do not
+        change simulation — and are therefore excluded: two circuits
+        with the same canonical dict are behaviourally identical, and
+        renaming a scope does not invalidate cached campaign results.
+        """
+        name_of = self.net_names
+
+        def names(nets) -> list[str]:
+            return [name_of[n] for n in nets]
+
+        return {
+            "name": self.name,
+            "gates": sorted(
+                (name_of[g.out], OP_NAMES[g.op], names(g.inputs))
+                for g in self.gates),
+            "flops": sorted(
+                (f.name, name_of[f.d], name_of[f.q],
+                 None if f.en is None else name_of[f.en],
+                 None if f.rst is None else name_of[f.rst],
+                 f.init)
+                for f in self.flops),
+            "memories": sorted(
+                (m.name, m.depth, m.width, names(m.addr),
+                 names(m.wdata), name_of[m.we], names(m.rdata))
+                for m in self.memories),
+            "inputs": {name: names(nets)
+                       for name, nets in sorted(self.inputs.items())},
+            "outputs": {name: names(nets)
+                        for name, nets in sorted(self.outputs.items())},
+        }
+
+    def canonical_bytes(self) -> bytes:
+        """UTF-8 JSON of :meth:`canonical_dict`, stable across runs."""
+        import json
+        return json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":")).encode()
+
+    def structural_hash(self) -> str:
+        """SHA-256 content address of the canonical serialization."""
+        import hashlib
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
+
     def iter_flops_by_register(self) -> Iterator[tuple[str, list[Flop]]]:
         """Group flops into registers by their base name.
 

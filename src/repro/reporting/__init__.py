@@ -2,5 +2,7 @@
 
 from .tables import pct, render_kv, render_table
 from .dossier import build_dossier
+from .rundiff import render_run_diff
 
-__all__ = ["pct", "render_kv", "render_table", "build_dossier"]
+__all__ = ["pct", "render_kv", "render_table", "build_dossier",
+           "render_run_diff"]

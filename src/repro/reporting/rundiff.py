@@ -1,0 +1,61 @@
+"""Rendering of cross-run campaign comparisons (``store diff``)."""
+
+from __future__ import annotations
+
+from .tables import pct, render_kv, render_table
+
+
+def _signed_pct(delta: float) -> str:
+    return f"{delta * 100:+.2f} pt"
+
+
+def render_run_diff(diff) -> str:
+    """Human-readable report of a :class:`repro.store.RunDiff`."""
+    a, b = diff.run_a, diff.run_b
+    out = [render_kv([
+        ("reference run", f"#{a['run_id']} ({a['design']}, "
+                          f"{a['faults']} faults)"),
+        ("candidate run", f"#{b['run_id']} ({b['design']}, "
+                          f"{b['faults']} faults)"),
+        ("measured DC", f"{pct(a['measured_dc'] or 0.0)} -> "
+                        f"{pct(b['measured_dc'] or 0.0)} "
+                        f"({_signed_pct(diff.dc_delta)})"),
+        ("safe fraction", f"{pct(a['safe_fraction'] or 0.0)} -> "
+                          f"{pct(b['safe_fraction'] or 0.0)} "
+                          f"({_signed_pct(diff.safe_delta)})"),
+        ("faults reclassified", len(diff.changed_faults)),
+        ("zones affected", len(diff.affected_zones())),
+        ("zones regressed", len(diff.regressed_zones())),
+    ], title=f"=== store diff: run #{a['run_id']} -> "
+             f"#{b['run_id']} ===")]
+
+    changed = [c for c in diff.zone_changes if c.changed]
+    if changed:
+        rows = []
+        for change in changed:
+            keys = sorted(set(change.counts_a) | set(change.counts_b))
+            delta = ", ".join(
+                f"{k}: {change.counts_a.get(k, 0)}"
+                f"->{change.counts_b.get(k, 0)}"
+                for k in keys
+                if change.counts_a.get(k, 0)
+                != change.counts_b.get(k, 0))
+            rows.append([change.zone,
+                         "REGRESSED" if change.regressed else "changed",
+                         delta])
+        out.append(render_table(["zone", "verdict", "outcome shift"],
+                                rows, title="affected zones"))
+    else:
+        out.append("no zone-level outcome changes")
+
+    if diff.changed_faults:
+        rows = [[name, zone or "?", before or "(absent)",
+                 after or "(absent)"]
+                for name, zone, before, after
+                in diff.changed_faults[:25]]
+        title = "reclassified faults"
+        if len(diff.changed_faults) > 25:
+            title += (f" (first 25 of {len(diff.changed_faults)})")
+        out.append(render_table(
+            ["fault", "zone", "before", "after"], rows, title=title))
+    return "\n\n".join(out)

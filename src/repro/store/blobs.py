@@ -1,0 +1,100 @@
+"""Content-addressed blob storage for the campaign store.
+
+Large immutable payloads — golden-trace snapshots, canonical circuit
+serializations — live outside SQLite as loose objects under
+``objects/<aa>/<rest>`` (git-style fan-out), addressed by the SHA-256
+of their content.  Writes are atomic (temp file + rename) so a killed
+campaign can never leave a half-written object under its final name;
+reads re-hash the payload and raise :class:`CorruptBlobError` on
+mismatch, which callers treat as a cache miss (re-derive, re-store),
+never as a crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+
+
+class CorruptBlobError(Exception):
+    """A stored object no longer matches its content address."""
+
+    def __init__(self, digest: str, actual: str):
+        super().__init__(
+            f"blob {digest[:12]} is corrupt (content hashes to "
+            f"{actual[:12]})")
+        self.digest = digest
+        self.actual = actual
+
+
+class BlobStore:
+    """A directory of immutable, checksummed, content-addressed blobs."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self.objects.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, digest: str) -> Path:
+        return self.objects / digest[:2] / digest[2:]
+
+    def put(self, data: bytes) -> str:
+        digest = hashlib.sha256(data).hexdigest()
+        path = self.path_for(digest)
+        if path.exists():
+            return digest
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)   # atomic: readers never see partials
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return digest
+
+    def get(self, digest: str, verify: bool = True) -> bytes:
+        try:
+            data = self.path_for(digest).read_bytes()
+        except FileNotFoundError:
+            raise KeyError(digest) from None
+        if verify:
+            actual = hashlib.sha256(data).hexdigest()
+            if actual != digest:
+                raise CorruptBlobError(digest, actual)
+        return data
+
+    def has(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    def delete(self, digest: str) -> bool:
+        try:
+            self.path_for(digest).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    # ------------------------------------------------------------------
+    def digests(self) -> list[str]:
+        out = []
+        for shard in self.objects.iterdir():
+            if not shard.is_dir():
+                continue
+            for obj in shard.iterdir():
+                if not obj.name.startswith("."):
+                    out.append(shard.name + obj.name)
+        return sorted(out)
+
+    def __len__(self) -> int:
+        return len(self.digests())
+
+    def total_bytes(self) -> int:
+        return sum(self.path_for(d).stat().st_size
+                   for d in self.digests())

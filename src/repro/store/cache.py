@@ -1,0 +1,364 @@
+"""The campaign cache façade: serve cached outcomes, simulate the rest.
+
+:class:`CampaignCache` sits between the campaign engines and the
+content-addressed store.  Both entry points produce results that are
+bit-identical to an uncached cold run over the same candidates:
+
+* :meth:`run_serial` backs ``FaultInjectionManager.run(..., cache=)``;
+* :meth:`run_parallel` backs ``ParallelCampaignRunner`` — only cache
+  *misses* are sharded across worker processes.
+
+Fresh outcomes are persisted incrementally (after every simulated
+chunk or shard), so a killed campaign resumes exactly where it
+stopped: re-running the same command turns the completed work into
+cache hits and simulates only the remainder.  Campaigns whose inputs
+cannot be content-addressed (toggle collection, un-snapshottable
+setups) transparently bypass the store and are counted in
+``stats.uncacheable``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from ..faultinjection.faultlist import CandidateList
+from ..faultinjection.manager import (
+    CampaignResult,
+    FaultInjectionManager,
+    FaultResult,
+)
+from .blobs import BlobStore, CorruptBlobError
+from .db import OutcomeRow, StoreDB
+from .fingerprint import FingerprintContext
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss ledger of one :class:`CampaignCache` instance."""
+
+    hits: int = 0            # outcomes served from the store
+    misses: int = 0          # outcomes that had to be simulated
+    writes: int = 0          # new outcome rows appended
+    simulated: int = 0       # faults actually run through a simulator
+    uncacheable: int = 0     # faults that bypassed the store entirely
+    corrupt: int = 0         # corrupt/unreadable entries re-derived
+    golden_hits: int = 0
+    golden_misses: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def summary(self) -> str:
+        return (f"store: {self.hits} hits, {self.misses} misses "
+                f"({self.hit_rate() * 100:.1f}% hit rate), "
+                f"{self.writes} new outcomes, "
+                f"{self.simulated} faults simulated")
+
+
+@dataclass
+class CampaignPlan:
+    """The cache's partition of one candidate list."""
+
+    fingerprints: list[str]
+    cached: dict[int, OutcomeRow] = field(default_factory=dict)
+    misses: list[int] = field(default_factory=list)
+
+
+class CampaignCache:
+    """Content-addressed campaign store under one root directory."""
+
+    def __init__(self, path, flush_passes: int = 1):
+        from pathlib import Path
+        self.root = Path(path)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.blobs = BlobStore(self.root)
+        self.db = StoreDB(self.root / "store.db")
+        #: simulated passes per persistence flush — 1 gives the finest
+        #: crash-safe resume granularity
+        self.flush_passes = max(1, flush_passes)
+        self.stats = CacheStats()
+        self.last_run_id: int | None = None
+
+    def close(self) -> None:
+        self.db.close()
+
+    def __enter__(self) -> "CampaignCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, ctx: FingerprintContext,
+             faults: list) -> CampaignPlan:
+        fps = [ctx.fault_fingerprint(f) for f in faults]
+        rows = self.db.get_outcomes(sorted(set(fps)))
+        plan = CampaignPlan(fingerprints=fps)
+        for i, fp in enumerate(fps):
+            row = rows.get(fp)
+            if row is not None:
+                plan.cached[i] = row
+            else:
+                plan.misses.append(i)
+        self.stats.hits += len(plan.cached)
+        self.stats.misses += len(plan.misses)
+        return plan
+
+    # ------------------------------------------------------------------
+    # serial path (FaultInjectionManager.run)
+    # ------------------------------------------------------------------
+    def run_serial(self, manager: FaultInjectionManager,
+                   candidates: CandidateList) -> CampaignResult:
+        ctx = self._context_for(manager)
+        if ctx is None:
+            self.stats.uncacheable += len(candidates.faults)
+            return manager.run(candidates)
+        start = time.time()
+        faults = list(candidates.faults)
+        plan = self.plan(ctx, faults)
+        run_id = self._begin(ctx, manager, faults, workers=1)
+        result = manager.new_result()
+        manager._init_coverage(result.coverage, candidates)
+        merged = {i: _rebuild(faults[i], row)
+                  for i, row in plan.cached.items()}
+        self._simulate_chunked(manager, faults, plan, merged, result)
+        self._finalize(ctx, manager, faults, plan, merged, result,
+                       run_id, start)
+        return result
+
+    # ------------------------------------------------------------------
+    # parallel path (ParallelCampaignRunner)
+    # ------------------------------------------------------------------
+    def run_parallel(self, runner, candidates: CandidateList
+                     ) -> CampaignResult:
+        from ..faultinjection.parallel import (
+            CampaignStats,
+            ShardStats,
+            _worker_init,
+            _worker_run,
+            _default_start_method,
+            shard_candidates,
+        )
+        import os
+        from concurrent.futures import (
+            ProcessPoolExecutor,
+            as_completed,
+        )
+        from multiprocessing import get_context
+
+        spec = runner.spec
+        try:
+            ctx = None if spec.config.collect_toggles \
+                else FingerprintContext.from_spec(spec)
+        except ValueError:
+            ctx = None
+        if ctx is None:
+            self.stats.uncacheable += len(candidates.faults)
+            return runner.run_uncached(candidates)
+        start = time.time()
+        manager = spec.manager()
+        faults = list(candidates.faults)
+        plan = self.plan(ctx, faults)
+        total = len(faults)
+        run_id = self._begin(ctx, manager, faults,
+                             workers=runner.workers)
+        result = manager.new_result()
+        manager._init_coverage(result.coverage, candidates)
+        merged = {i: _rebuild(faults[i], row)
+                  for i, row in plan.cached.items()}
+        if runner.progress is not None and plan.cached:
+            runner.progress(len(plan.cached), total)
+
+        stats = CampaignStats(workers=1, total_faults=total)
+        if runner.workers == 1 or len(plan.misses) <= 1:
+            # not worth a pool — run the misses in-process
+            before = self.stats.simulated
+            sim_start = time.time()
+            self._simulate_chunked(manager, faults, plan, merged,
+                                   result, progress=runner.progress,
+                                   progress_base=len(plan.cached),
+                                   progress_total=total)
+            if plan.misses:
+                stats.shards.append(ShardStats(
+                    shard=0, worker=os.getpid(),
+                    faults=self.stats.simulated - before,
+                    passes=result.passes,
+                    cycles=result.cycles_simulated,
+                    wall_seconds=time.time() - sim_start))
+        else:
+            shards = shard_candidates(
+                [faults[i] for i in plan.misses],
+                runner.shards or runner.workers)
+            # per-shard index lists, in the same contiguous split
+            idx_shards, lo = [], 0
+            for shard in shards:
+                idx_shards.append(plan.misses[lo:lo + len(shard)])
+                lo += len(shard)
+            stats.workers = min(runner.workers, len(shards))
+            method = runner.start_method or _default_start_method()
+            done = len(plan.cached)
+            with ProcessPoolExecutor(
+                    max_workers=min(runner.workers, len(shards)),
+                    mp_context=get_context(method),
+                    initializer=_worker_init,
+                    initargs=(spec,)) as pool:
+                futures = [pool.submit(_worker_run, index, shard)
+                           for index, shard in enumerate(shards)]
+                for future in as_completed(futures):
+                    index, pid, part, seconds = future.result()
+                    # persist as soon as a shard lands: a killed
+                    # campaign keeps every completed shard
+                    self._persist(
+                        [(plan.fingerprints[i], res) for i, res
+                         in zip(idx_shards[index], part.results)])
+                    for i, res in zip(idx_shards[index],
+                                      part.results):
+                        merged[i] = res
+                    result.passes += part.passes
+                    result.cycles_simulated += part.cycles_simulated
+                    stats.shards.append(ShardStats(
+                        shard=index, worker=pid,
+                        faults=len(part.results),
+                        passes=part.passes,
+                        cycles=part.cycles_simulated,
+                        wall_seconds=seconds))
+                    done += len(part.results)
+                    if runner.progress is not None:
+                        runner.progress(done, total)
+            self.stats.simulated += len(plan.misses)
+            stats.shards.sort(key=lambda s: s.shard)
+
+        golden_seconds = self._finalize(ctx, manager, faults, plan,
+                                        merged, result, run_id, start)
+        stats.golden_seconds = golden_seconds
+        stats.wall_seconds = result.wall_seconds
+        runner.last_stats = stats
+        return result
+
+    # ------------------------------------------------------------------
+    # shared internals
+    # ------------------------------------------------------------------
+    def _context_for(self, manager: FaultInjectionManager
+                     ) -> FingerprintContext | None:
+        if manager.config.collect_toggles:
+            # any-machine toggle bits are a per-pass aggregate that a
+            # per-fault store cannot reconstruct
+            return None
+        try:
+            return FingerprintContext.from_manager(manager)
+        except ValueError:
+            return None
+
+    def _begin(self, ctx, manager, faults, workers: int) -> int:
+        cfg = manager.config
+        run_id = self.db.begin_run(
+            design=manager.circuit.name,
+            env_fp=ctx.environment_fingerprint(),
+            faults=len(faults), workers=workers,
+            window=cfg.detection_window,
+            test_windows=cfg.test_windows)
+        self.last_run_id = run_id
+        return run_id
+
+    def _simulate_chunked(self, manager, faults, plan, merged, result,
+                          progress=None, progress_base=0,
+                          progress_total=0) -> None:
+        chunk = max(1, manager.config.machines_per_pass) \
+            * self.flush_passes
+        done = progress_base
+        for lo in range(0, len(plan.misses), chunk):
+            idxs = plan.misses[lo:lo + chunk]
+            part = manager.run_batches([faults[i] for i in idxs],
+                                       track_golden=False)
+            result.passes += part.passes
+            result.cycles_simulated += part.cycles_simulated
+            for i, res in zip(idxs, part.results):
+                merged[i] = res
+            self._persist([(plan.fingerprints[i], res)
+                           for i, res in zip(idxs, part.results)])
+            self.stats.simulated += len(idxs)
+            done += len(idxs)
+            if progress is not None:
+                progress(done, progress_total)
+
+    def _persist(self, fresh: list[tuple[str, FaultResult]]) -> None:
+        rows = [OutcomeRow(
+            fault_fp=fp, fault_name=res.fault.name,
+            zone=res.fault.zone, kind=res.fault.kind,
+            sens_cycle=res.sens_cycle, obse_cycle=res.obse_cycle,
+            diag_cycle=res.diag_cycle, first_alarm=res.first_alarm,
+            effects=dict(res.effects)) for fp, res in fresh]
+        self.stats.writes += self.db.put_outcomes(rows)
+
+    def _finalize(self, ctx, manager, faults, plan, merged, result,
+                  run_id, start) -> float:
+        golden_digest = None
+        golden_seconds = 0.0
+        if faults:
+            golden, golden_digest = self._golden(ctx, manager)
+            golden_seconds = golden.wall_seconds
+            result.results = [merged[i] for i in range(len(faults))]
+            for name in golden.obse_active:
+                result.coverage.obse[name] = True
+            for name in golden.diag_active:
+                result.coverage.diag[name] = True
+        manager.fill_coverage(result)
+        result.wall_seconds = time.time() - start
+        membership = [
+            (plan.fingerprints[i], faults[i].name, faults[i].zone,
+             result.outcome_of(merged[i]))
+            for i in range(len(faults))]
+        self.db.finish_run(
+            run_id, hits=len(plan.cached), misses=len(plan.misses),
+            measured_dc=result.measured_dc(),
+            safe_fraction=result.measured_safe_fraction(),
+            outcome_counts=result.outcomes(),
+            wall_seconds=result.wall_seconds,
+            golden_blob=golden_digest, membership=membership)
+        return golden_seconds
+
+    # ------------------------------------------------------------------
+    # golden-trace blobs
+    # ------------------------------------------------------------------
+    def _golden(self, ctx, manager):
+        from ..faultinjection.parallel import (
+            GoldenTrace,
+            compute_golden_trace,
+        )
+        key = ctx.golden_key()
+        digest = self.db.get_golden(key)
+        if digest is not None:
+            try:
+                data = json.loads(self.blobs.get(digest))
+                trace = GoldenTrace(
+                    cycles=int(data["cycles"]),
+                    obse_active=tuple(data["obse_active"]),
+                    diag_active=tuple(data["diag_active"]))
+                self.stats.golden_hits += 1
+                return trace, digest
+            except (KeyError, CorruptBlobError, ValueError,
+                    TypeError):
+                # missing or corrupt blob: recompute, never crash
+                self.stats.corrupt += 1
+        trace = compute_golden_trace(manager)
+        digest = self.blobs.put(json.dumps({
+            "cycles": trace.cycles,
+            "obse_active": list(trace.obse_active),
+            "diag_active": list(trace.diag_active),
+        }, sort_keys=True).encode())
+        self.db.put_golden(key, digest)
+        self.stats.golden_misses += 1
+        return trace, digest
+
+
+def _rebuild(fault, row: OutcomeRow) -> FaultResult:
+    """Reconstruct the raw per-fault record from its stored form."""
+    return FaultResult(
+        fault=fault, sens_cycle=row.sens_cycle,
+        obse_cycle=row.obse_cycle, diag_cycle=row.diag_cycle,
+        first_alarm=row.first_alarm, effects=dict(row.effects))

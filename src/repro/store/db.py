@@ -1,0 +1,294 @@
+"""SQLite index of the campaign store.
+
+Three concerns, three groups of tables:
+
+* ``outcomes`` — the append-only per-fault outcome log, keyed by the
+  fault's content address (:mod:`~repro.store.fingerprint`).  Rows are
+  immutable: the fingerprint covers everything that determines the
+  record, so two writers producing the same key necessarily produced
+  the same payload and ``INSERT OR IGNORE`` makes concurrent campaigns
+  trivially safe.
+* ``runs`` / ``run_faults`` — one row per recorded campaign plus its
+  ordered fault membership, enabling cross-run queries and
+  ``store diff``.  A run begins in status ``running`` and is flipped to
+  ``done`` at the end; a SIGKILLed campaign leaves the marker behind
+  (visible in ``store stats``) while all its completed outcomes stay
+  reusable.
+* ``golden`` — maps a golden-trace content key to its blob digest.
+
+The connection runs in WAL mode with a generous busy timeout so two
+campaign runners sharing one store serialize on short write
+transactions instead of erroring.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta(
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS outcomes(
+    fault_fp    TEXT PRIMARY KEY,
+    fault_name  TEXT NOT NULL,
+    zone        TEXT,
+    kind        TEXT,
+    sens_cycle  INTEGER,
+    obse_cycle  INTEGER,
+    diag_cycle  INTEGER,
+    first_alarm TEXT,
+    effects     TEXT NOT NULL,
+    created_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs(
+    run_id        INTEGER PRIMARY KEY AUTOINCREMENT,
+    created_at    REAL NOT NULL,
+    status        TEXT NOT NULL,
+    design        TEXT NOT NULL,
+    env_fp        TEXT NOT NULL,
+    workers       INTEGER NOT NULL DEFAULT 1,
+    faults        INTEGER NOT NULL DEFAULT 0,
+    hits          INTEGER NOT NULL DEFAULT 0,
+    misses        INTEGER NOT NULL DEFAULT 0,
+    window        INTEGER NOT NULL DEFAULT 12,
+    test_windows  TEXT NOT NULL DEFAULT '[]',
+    measured_dc   REAL,
+    safe_fraction REAL,
+    outcome_counts TEXT,
+    wall_seconds  REAL,
+    golden_blob   TEXT
+);
+CREATE TABLE IF NOT EXISTS run_faults(
+    run_id     INTEGER NOT NULL,
+    seq        INTEGER NOT NULL,
+    fault_fp   TEXT NOT NULL,
+    fault_name TEXT NOT NULL,
+    zone       TEXT,
+    outcome    TEXT NOT NULL,
+    PRIMARY KEY(run_id, seq)
+);
+CREATE TABLE IF NOT EXISTS golden(
+    key        TEXT PRIMARY KEY,
+    digest     TEXT NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_run_faults_fp
+    ON run_faults(fault_fp);
+CREATE INDEX IF NOT EXISTS idx_runs_env ON runs(env_fp);
+"""
+
+
+@dataclass
+class OutcomeRow:
+    """One cached raw fault record, as stored."""
+
+    fault_fp: str
+    fault_name: str
+    zone: str | None
+    kind: str | None
+    sens_cycle: int | None
+    obse_cycle: int | None
+    diag_cycle: int | None
+    first_alarm: str | None
+    effects: dict[str, int]
+
+
+class StoreDB:
+    """Thin, explicit wrapper over the store's SQLite database."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path, timeout=30.0)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # ------------------------------------------------------------------
+    # outcome log
+    # ------------------------------------------------------------------
+    def put_outcomes(self, rows: list[OutcomeRow]) -> int:
+        """Append outcome records; duplicates are ignored (idempotent)."""
+        now = time.time()
+        with self._conn:
+            cursor = self._conn.executemany(
+                "INSERT OR IGNORE INTO outcomes VALUES "
+                "(?,?,?,?,?,?,?,?,?,?)",
+                [(r.fault_fp, r.fault_name, r.zone, r.kind,
+                  r.sens_cycle, r.obse_cycle, r.diag_cycle,
+                  r.first_alarm, json.dumps(r.effects), now)
+                 for r in rows])
+        return cursor.rowcount
+
+    def get_outcomes(self, fps: list[str]) -> dict[str, OutcomeRow]:
+        """Fetch cached records; unparsable rows are silently skipped
+        (the caller re-simulates them — corruption must never crash a
+        campaign)."""
+        out: dict[str, OutcomeRow] = {}
+        fps = list(fps)
+        for lo in range(0, len(fps), 500):
+            chunk = fps[lo:lo + 500]
+            marks = ",".join("?" * len(chunk))
+            rows = self._conn.execute(
+                f"SELECT fault_fp, fault_name, zone, kind, sens_cycle,"
+                f" obse_cycle, diag_cycle, first_alarm, effects"
+                f" FROM outcomes WHERE fault_fp IN ({marks})",
+                chunk).fetchall()
+            for row in rows:
+                try:
+                    effects = json.loads(row[8])
+                    if not isinstance(effects, dict):
+                        raise ValueError("effects is not a table")
+                    effects = {str(k): int(v)
+                               for k, v in effects.items()}
+                except (ValueError, TypeError):
+                    continue
+                out[row[0]] = OutcomeRow(*row[:8], effects)
+        return out
+
+    def outcome_count(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM outcomes").fetchone()[0]
+
+    # ------------------------------------------------------------------
+    # runs
+    # ------------------------------------------------------------------
+    def begin_run(self, design: str, env_fp: str, faults: int,
+                  workers: int, window: int,
+                  test_windows) -> int:
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO runs (created_at, status, design, env_fp,"
+                " workers, faults, window, test_windows)"
+                " VALUES (?,?,?,?,?,?,?,?)",
+                (time.time(), "running", design, env_fp, workers,
+                 faults, window,
+                 json.dumps([list(w) for w in test_windows])))
+        return cursor.lastrowid
+
+    def finish_run(self, run_id: int, hits: int, misses: int,
+                   measured_dc: float, safe_fraction: float,
+                   outcome_counts: dict[str, int],
+                   wall_seconds: float,
+                   golden_blob: str | None,
+                   membership: list[tuple[str, str, str | None, str]]
+                   ) -> None:
+        """Mark a run done and record its ordered fault membership.
+
+        ``membership`` rows are ``(fault_fp, fault_name, zone,
+        outcome_class)`` in campaign order.
+        """
+        with self._conn:
+            self._conn.execute(
+                "UPDATE runs SET status='done', hits=?, misses=?,"
+                " measured_dc=?, safe_fraction=?, outcome_counts=?,"
+                " wall_seconds=?, golden_blob=? WHERE run_id=?",
+                (hits, misses, measured_dc, safe_fraction,
+                 json.dumps(outcome_counts), wall_seconds,
+                 golden_blob, run_id))
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO run_faults VALUES "
+                "(?,?,?,?,?,?)",
+                [(run_id, seq, fp, name, zone, outcome)
+                 for seq, (fp, name, zone, outcome)
+                 in enumerate(membership)])
+
+    def runs(self, limit: int | None = None,
+             design: str | None = None,
+             status: str | None = None) -> list[dict]:
+        query = "SELECT * FROM runs"
+        clauses, params = [], []
+        if design is not None:
+            clauses.append("design=?")
+            params.append(design)
+        if status is not None:
+            clauses.append("status=?")
+            params.append(status)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY run_id DESC"
+        if limit is not None:
+            query += " LIMIT ?"
+            params.append(limit)
+        cursor = self._conn.execute(query, params)
+        columns = [d[0] for d in cursor.description]
+        return [dict(zip(columns, row)) for row in cursor.fetchall()]
+
+    def run(self, run_id: int) -> dict | None:
+        rows = self.runs()
+        for row in rows:
+            if row["run_id"] == run_id:
+                return row
+        return None
+
+    def run_faults(self, run_id: int) -> list[dict]:
+        cursor = self._conn.execute(
+            "SELECT seq, fault_fp, fault_name, zone, outcome"
+            " FROM run_faults WHERE run_id=? ORDER BY seq", (run_id,))
+        return [dict(zip(("seq", "fault_fp", "fault_name", "zone",
+                          "outcome"), row))
+                for row in cursor.fetchall()]
+
+    # ------------------------------------------------------------------
+    # golden traces
+    # ------------------------------------------------------------------
+    def get_golden(self, key: str) -> str | None:
+        row = self._conn.execute(
+            "SELECT digest FROM golden WHERE key=?", (key,)).fetchone()
+        return row[0] if row else None
+
+    def put_golden(self, key: str, digest: str) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO golden VALUES (?,?,?)",
+                (key, digest, time.time()))
+
+    def golden_digests(self) -> set[str]:
+        return {row[0] for row in self._conn.execute(
+            "SELECT digest FROM golden").fetchall()}
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def gc(self, keep_runs: int) -> tuple[int, int]:
+        """Drop all but the newest ``keep_runs`` runs, then every
+        outcome row no kept run references.  Returns ``(runs_removed,
+        outcomes_removed)``; blob sweeping is the caller's job (it
+        owns the filesystem side)."""
+        with self._conn:
+            keep = [row[0] for row in self._conn.execute(
+                "SELECT run_id FROM runs ORDER BY run_id DESC"
+                " LIMIT ?", (keep_runs,))]
+            if keep:
+                marks = ",".join("?" * len(keep))
+                removed_runs = self._conn.execute(
+                    f"DELETE FROM runs WHERE run_id NOT IN ({marks})",
+                    keep).rowcount
+                self._conn.execute(
+                    f"DELETE FROM run_faults WHERE run_id NOT IN"
+                    f" ({marks})", keep)
+            else:
+                # NOT IN () is never true in SQL — wipe explicitly
+                removed_runs = self._conn.execute(
+                    "DELETE FROM runs").rowcount
+                self._conn.execute("DELETE FROM run_faults")
+            removed_outcomes = self._conn.execute(
+                "DELETE FROM outcomes WHERE fault_fp NOT IN"
+                " (SELECT fault_fp FROM run_faults)").rowcount
+            self._conn.execute(
+                "DELETE FROM golden WHERE digest NOT IN"
+                " (SELECT golden_blob FROM runs"
+                "  WHERE golden_blob IS NOT NULL)")
+        self._conn.execute("VACUUM")
+        return removed_runs, removed_outcomes

@@ -72,22 +72,118 @@ def test_compare_command(capsys):
     assert "no" in base_line and "yes" in impr_line
 
 
-def test_campaign_command_serial(capsys):
+def test_campaign_command_serial(capsys, tmp_path):
     code, out = run_cli(capsys, "campaign", "--variant",
-                        "small-improved", "--sample", "24")
+                        "small-improved", "--sample", "24",
+                        "--store", str(tmp_path / "store"))
     assert code == 0
     assert "measured DC" in out
     assert "1 worker(s)" in out
 
 
-def test_campaign_command_sharded(capsys):
+def test_campaign_command_sharded(capsys, tmp_path):
     code, out = run_cli(capsys, "campaign", "--variant",
                         "small-improved", "--sample", "24",
-                        "--workers", "2", "--progress")
+                        "--workers", "2", "--progress",
+                        "--store", str(tmp_path / "store"))
     assert code == 0
     assert "24 faults" in out
     assert "2 worker(s)" in out
     assert "24/24 faults simulated" in out
+
+
+def test_campaign_no_cache_leaves_no_store(capsys, tmp_path,
+                                           monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code, out = run_cli(capsys, "campaign", "--variant",
+                        "small-improved", "--sample", "12",
+                        "--no-cache")
+    assert code == 0
+    assert "store:" not in out
+    assert not (tmp_path / ".socfmea_store").exists()
+
+
+def test_campaign_cache_round_trip(capsys, tmp_path):
+    store = str(tmp_path / "store")
+    code, cold = run_cli(capsys, "campaign", "--variant",
+                         "small-improved", "--sample", "24",
+                         "--store", store)
+    assert code == 0
+    assert "24 misses" in cold and "0 hits" in cold
+
+    code, warm = run_cli(capsys, "--store", store, "campaign",
+                         "--variant", "small-improved",
+                         "--sample", "24")
+    assert code == 0
+    assert "24 hits, 0 misses (100.0% hit rate)" in warm
+    assert "0 faults simulated" in warm
+
+    def metrics(text):
+        return [ln for ln in text.splitlines()
+                if ln.startswith("measured")]
+    assert metrics(cold) == metrics(warm)
+
+
+def test_store_subcommands(capsys, tmp_path):
+    store = str(tmp_path / "store")
+    for _ in range(2):
+        code, _ = run_cli(capsys, "campaign", "--variant",
+                          "small-improved", "--sample", "24",
+                          "--store", store)
+        assert code == 0
+
+    code, out = run_cli(capsys, "store", "stats", "--store", store)
+    assert code == 0
+    assert "recorded runs         : 2" in out
+    assert "cached fault outcomes : 24" in out
+
+    code, out = run_cli(capsys, "store", "query", "--store", store)
+    assert code == 0
+    assert "recorded campaign runs" in out
+    assert "memss_small_improved" in out
+
+    code, out = run_cli(capsys, "store", "query", "--store", store,
+                        "--run", "2")
+    assert code == 0
+    assert "run #2" in out and "measured DC" in out
+
+    code, out = run_cli(capsys, "store", "diff", "--store", store)
+    assert code == 0       # identical reruns: nothing regressed
+    assert "store diff: run #1 -> #2" in out
+    assert "faults reclassified : 0" in out
+
+    code, out = run_cli(capsys, "store", "gc", "--store", store,
+                        "--keep", "1")
+    assert code == 0
+    assert "runs removed     : 1" in out
+
+
+def test_store_diff_needs_history(capsys, tmp_path):
+    code = main(["store", "diff", "--store",
+                 str(tmp_path / "empty")])
+    assert code == 1
+    assert "two completed runs" in capsys.readouterr().err
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_store_env_override(tmp_path, monkeypatch):
+    from repro.cli import DEFAULT_STORE, resolve_store_path
+    parser = build_parser()
+    monkeypatch.delenv("SOCFMEA_STORE", raising=False)
+    args = parser.parse_args(["campaign"])
+    assert resolve_store_path(args) == DEFAULT_STORE
+    monkeypatch.setenv("SOCFMEA_STORE", str(tmp_path / "env"))
+    assert resolve_store_path(args) == str(tmp_path / "env")
+    args = parser.parse_args(["campaign", "--store",
+                              str(tmp_path / "flag")])
+    assert resolve_store_path(args) == str(tmp_path / "flag")
 
 
 def test_parser_requires_command():

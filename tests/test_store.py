@@ -1,0 +1,328 @@
+"""Unit and robustness tests for the content-addressed campaign store.
+
+Covers the fingerprint semantics (what invalidates a cached outcome
+and — just as important — what must *not*), the blob store's corruption
+handling, crash-safe resume after SIGKILL, and two campaign runners
+sharing one store directory concurrently.
+"""
+
+import copy
+import json
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.faultinjection import (
+    CampaignConfig,
+    ParallelCampaignRunner,
+    build_environment,
+)
+from repro.hdl.netlist import OP_OR, OP_XOR
+from repro.soc import MemorySubsystem, SubsystemConfig
+from repro.store import (
+    BlobStore,
+    CampaignCache,
+    CorruptBlobError,
+    FingerprintContext,
+    diff_runs,
+    gc_store,
+    store_stats,
+)
+from repro.store.fingerprint import digest, fault_descriptor
+
+REPO = Path(__file__).parent.parent
+ENV = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+
+
+@pytest.fixture(scope="module")
+def env():
+    sub = MemorySubsystem(SubsystemConfig.small_improved())
+    return build_environment(sub, quick=True)
+
+
+@pytest.fixture(scope="module")
+def candidates(env):
+    return env.candidates()
+
+
+@pytest.fixture(scope="module")
+def serial(env, candidates):
+    return env.manager(CampaignConfig()).run(candidates)
+
+
+def _fault_rows(campaign):
+    return [(res.fault.name, res.sens_cycle, res.obse_cycle,
+             res.diag_cycle, res.first_alarm, res.effects)
+            for res in campaign.results]
+
+
+def _cached_run(env, candidates, cache, **kw):
+    runner = ParallelCampaignRunner(env.spec(), cache=cache, **kw)
+    return runner.run(candidates)
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+def test_digest_is_canonical():
+    assert digest({"b": 1, "a": [2, 3]}) == digest({"a": [2, 3], "b": 1})
+    assert digest({"a": 1}) != digest({"a": 2})
+
+
+def test_fault_descriptor_covers_fields(candidates):
+    fault = candidates.faults[0]
+    desc = fault_descriptor(fault)
+    assert desc["class"] == type(fault).__name__
+    assert desc["target"] == fault.target
+    assert desc["zone"] == fault.zone
+
+
+def test_fingerprints_are_deterministic(env, candidates):
+    ctx_a = FingerprintContext.from_spec(env.spec())
+    ctx_b = FingerprintContext.from_spec(env.spec())
+    for fault in candidates.faults:
+        assert ctx_a.fault_fingerprint(fault) == \
+            ctx_b.fault_fingerprint(fault)
+
+
+def test_classification_params_do_not_invalidate(env, candidates):
+    """detection_window / test_windows / machines_per_pass are applied
+    at classification time — the store holds raw records, so changing
+    them must keep every content address (and every cache hit)."""
+    base = FingerprintContext.from_spec(env.spec())
+    tweaked = FingerprintContext.from_spec(env.spec(CampaignConfig(
+        detection_window=3, machines_per_pass=7,
+        test_windows=((1, 2),))))
+    for fault in candidates.faults:
+        assert base.fault_fingerprint(fault) == \
+            tweaked.fault_fingerprint(fault)
+
+
+def test_stimuli_change_invalidates(env, candidates):
+    base = FingerprintContext.from_spec(env.spec())
+    spec = env.spec()
+    spec.stimuli[5] = dict(spec.stimuli[5], haddr=3)
+    changed = FingerprintContext.from_spec(spec)
+    fault = candidates.faults[0]
+    assert base.fault_fingerprint(fault) != \
+        changed.fault_fingerprint(fault)
+
+
+def _mutate_one_gate(spec):
+    """Flip one OR gate to XOR; return (mutated spec, gate out name)."""
+    spec = copy.deepcopy(spec)
+    for gate in spec.circuit.gates:
+        name = spec.circuit.net_names[gate.out]
+        if gate.op == OP_OR and "coder_check" in name:
+            gate.op = OP_XOR
+            return spec, name
+    raise AssertionError("no OR gate in the checker to mutate")
+
+
+def test_gate_mutation_invalidates_only_its_cones(env, candidates):
+    base = FingerprintContext.from_spec(env.spec())
+    mutated, _ = _mutate_one_gate(env.spec())
+    after = FingerprintContext.from_spec(mutated)
+    changed = sum(
+        base.fault_fingerprint(f) != after.fault_fingerprint(f)
+        for f in candidates.faults)
+    # the mutated gate sits in some cones but not all: partial
+    # invalidation, not a wholesale flush
+    assert 0 < changed < len(candidates.faults)
+
+
+# ----------------------------------------------------------------------
+# blob store
+# ----------------------------------------------------------------------
+def test_blob_round_trip(tmp_path):
+    blobs = BlobStore(tmp_path)
+    digest_a = blobs.put(b"payload one")
+    assert blobs.get(digest_a) == b"payload one"
+    assert blobs.has(digest_a)
+    assert blobs.put(b"payload one") == digest_a     # idempotent
+    assert len(blobs) == 1
+    assert blobs.total_bytes() == len(b"payload one")
+    with pytest.raises(KeyError):
+        blobs.get("0" * 64)
+
+
+def test_corrupt_blob_is_detected(tmp_path):
+    blobs = BlobStore(tmp_path)
+    key = blobs.put(b"trusted bytes")
+    blobs.path_for(key).write_bytes(b"tampered!")
+    with pytest.raises(CorruptBlobError):
+        blobs.get(key)
+    assert blobs.get(key, verify=False) == b"tampered!"
+
+
+# ----------------------------------------------------------------------
+# corruption never crashes a campaign
+# ----------------------------------------------------------------------
+def test_corrupt_golden_blob_recomputes(env, candidates, serial,
+                                        tmp_path):
+    with CampaignCache(tmp_path / "store") as cache:
+        _cached_run(env, candidates, cache, workers=1)
+        run = cache.db.runs(limit=1)[0]
+        cache.blobs.path_for(run["golden_blob"]).write_bytes(b"junk")
+
+    with CampaignCache(tmp_path / "store") as cache:
+        campaign = _cached_run(env, candidates, cache, workers=1)
+        assert cache.stats.corrupt == 1
+        assert cache.stats.simulated == 0       # outcomes still hit
+        assert _fault_rows(campaign) == _fault_rows(serial)
+
+
+def test_corrupt_outcome_row_is_resimulated(env, candidates, serial,
+                                            tmp_path):
+    with CampaignCache(tmp_path / "store") as cache:
+        _cached_run(env, candidates, cache, workers=1)
+
+    db_path = tmp_path / "store" / "store.db"
+    with sqlite3.connect(db_path) as conn:
+        conn.execute(
+            "UPDATE outcomes SET effects='not json' WHERE fault_fp ="
+            " (SELECT fault_fp FROM outcomes LIMIT 1)")
+
+    with CampaignCache(tmp_path / "store") as cache:
+        campaign = _cached_run(env, candidates, cache, workers=1)
+        assert cache.stats.misses == 1          # only the broken row
+        assert cache.stats.simulated == 1
+        assert cache.stats.hits == len(candidates.faults) - 1
+        assert _fault_rows(campaign) == _fault_rows(serial)
+
+
+# ----------------------------------------------------------------------
+# concurrent writers
+# ----------------------------------------------------------------------
+def test_two_concurrent_campaigns_share_one_store(tmp_path, serial,
+                                                  env, candidates):
+    """Two CLI campaigns writing the same store at once must both
+    finish; INSERT OR IGNORE + WAL make the duplicate writes benign."""
+    store = tmp_path / "store"
+    cmd = [sys.executable, "-m", "repro.cli", "campaign",
+           "--variant", "small-improved", "--store", str(store)]
+    procs = [subprocess.Popen(cmd, cwd=tmp_path, env=ENV,
+                              stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT)
+             for _ in range(2)]
+    outs = [p.communicate(timeout=300)[0].decode() for p in procs]
+    assert all(p.returncode == 0 for p in procs), outs
+    with CampaignCache(store) as cache:
+        assert cache.db.outcome_count() == len(candidates.faults)
+        assert len(cache.db.runs(status="done")) == 2
+        # the shared store is coherent: a third run is all hits and
+        # still bit-identical to the serial reference
+        campaign = _cached_run(env, candidates, cache, workers=1)
+        assert cache.stats.hits == len(candidates.faults)
+        assert cache.stats.simulated == 0
+        assert _fault_rows(campaign) == _fault_rows(serial)
+
+
+# ----------------------------------------------------------------------
+# crash-safe resume
+# ----------------------------------------------------------------------
+def test_resume_after_sigkill(tmp_path, env, candidates, serial):
+    """SIGKILL a campaign mid-flight; the completed chunks must be
+    reusable and the resumed run bit-identical to the reference."""
+    store = tmp_path / "store"
+    cmd = [sys.executable, "-m", "repro.cli", "campaign",
+           "--variant", "small-improved", "--store", str(store),
+           "--progress", "--machines-per-pass", "16"]
+    proc = subprocess.Popen(cmd, cwd=tmp_path, env=ENV,
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT)
+    try:
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            line = proc.stdout.readline().decode()
+            if "faults simulated" in line:
+                break
+        else:
+            raise AssertionError("no progress line before timeout")
+        os.kill(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait(timeout=30)
+
+    with CampaignCache(store) as cache:
+        persisted = cache.db.outcome_count()
+        assert 0 < persisted < len(candidates.faults)
+        runs = cache.db.runs()
+        assert runs and runs[0]["status"] == "running"   # the marker
+
+        campaign = _cached_run(env, candidates, cache, workers=1)
+        assert cache.stats.hits == persisted
+        assert cache.stats.simulated == \
+            len(candidates.faults) - persisted
+        assert _fault_rows(campaign) == _fault_rows(serial)
+
+
+# ----------------------------------------------------------------------
+# queries and garbage collection
+# ----------------------------------------------------------------------
+def test_store_stats_and_gc(tmp_path, env, candidates):
+    with CampaignCache(tmp_path / "store") as cache:
+        _cached_run(env, candidates, cache, workers=1)
+        _cached_run(env, candidates, cache, workers=1)
+        stats = store_stats(cache)
+        assert stats.runs == 2 and stats.done_runs == 2
+        assert stats.outcomes == len(candidates.faults)
+        assert stats.blobs == 1 and stats.blob_bytes > 0
+
+        diff = diff_runs(cache)
+        assert diff.run_a["run_id"] < diff.run_b["run_id"]
+        assert diff.changed_faults == []
+        assert diff.affected_zones() == []
+        assert diff.dc_delta == 0.0
+
+        # drop the older run; the newer one keeps every outcome alive
+        result = gc_store(cache, keep_runs=1)
+        assert result.runs_removed == 1
+        assert result.outcomes_removed == 0
+        assert len(cache.db.runs()) == 1
+
+        # dropping all runs sweeps the outcomes and the golden blob
+        result = gc_store(cache, keep_runs=0)
+        assert result.outcomes_removed == len(candidates.faults)
+        assert result.blobs_removed == 1
+        assert result.bytes_reclaimed > 0
+        assert cache.db.outcome_count() == 0
+        assert len(cache.blobs) == 0
+
+
+def test_diff_requires_two_runs(tmp_path, env, candidates):
+    with CampaignCache(tmp_path / "store") as cache:
+        _cached_run(env, candidates, cache, workers=1)
+        with pytest.raises(ValueError, match="two completed runs"):
+            diff_runs(cache)
+
+
+# ----------------------------------------------------------------------
+# uncacheable campaigns bypass the store
+# ----------------------------------------------------------------------
+def test_toggle_collection_bypasses_store(env, candidates, tmp_path):
+    with CampaignCache(tmp_path / "store") as cache:
+        spec = env.spec(CampaignConfig(collect_toggles=True))
+        runner = ParallelCampaignRunner(spec, workers=1, cache=cache)
+        campaign = runner.run(candidates)
+        assert cache.stats.uncacheable == len(candidates.faults)
+        assert cache.stats.hits == cache.stats.misses == 0
+        assert cache.db.outcome_count() == 0
+        assert campaign.results           # the campaign itself still ran
+
+
+def test_unsnapshottable_setup_bypasses_store(env, candidates,
+                                              tmp_path):
+    from repro.faultinjection import FaultInjectionManager
+    manager = FaultInjectionManager(
+        env.circuit, env.stimuli, zone_set=env.zone_set,
+        setup=lambda sim: sim.stick_net(0, 1))
+    with CampaignCache(tmp_path / "store") as cache:
+        manager.run(candidates, cache=cache)
+        assert cache.stats.uncacheable == len(candidates.faults)
+        assert cache.db.outcome_count() == 0
