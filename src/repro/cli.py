@@ -31,6 +31,11 @@ from .soc.subsystem import MemorySubsystem
 #: variable
 DEFAULT_STORE = ".socfmea_store"
 
+#: ``soc-fmea campaign`` exit code: the campaign completed but one or
+#: more poison faults were quarantined — the measured DC/SFF are
+#: bounds, not exact values (0 = clean, 1 = aborted/error, 2 = usage)
+EXIT_QUARANTINE = 3
+
 
 def resolve_store_path(args) -> str:
     """``--store`` beats ``$SOCFMEA_STORE`` beats the default."""
@@ -171,16 +176,34 @@ def cmd_dossier(args) -> int:
 def cmd_campaign(args) -> int:
     """Run the zone fault-injection campaign, optionally sharded."""
     from .faultinjection import build_environment, randomize
+    from .faultinjection.environment import (
+        StimuliValidationError,
+        validate_stimuli,
+    )
     from .faultinjection.manager import CampaignConfig
     from .faultinjection.parallel import (
         CampaignSpec,
         ParallelCampaignRunner,
     )
+    from .faultinjection.supervisor import (
+        CampaignAborted,
+        CampaignSupervisor,
+        SupervisorConfig,
+    )
     if args.workers < 1:
         print("error: --workers must be at least 1", file=sys.stderr)
         return 2
+    if args.max_retries < 0:
+        print("error: --max-retries must be >= 0", file=sys.stderr)
+        return 2
     sub = _make_subsystem(args)
     env = build_environment(sub, quick=not args.full)
+    try:
+        validate_stimuli(env.circuit, env.stimuli)
+    except StimuliValidationError as err:
+        print(f"error: invalid stimuli for {sub.cfg.name}:\n{err}",
+              file=sys.stderr)
+        return 2
     candidates = env.candidates()
     if args.sample:
         candidates = randomize(candidates, args.sample)
@@ -192,11 +215,33 @@ def cmd_campaign(args) -> int:
 
     cache = None if args.no_cache else _open_store(args)
     config = CampaignConfig(machines_per_pass=args.machines_per_pass)
-    runner = ParallelCampaignRunner(
-        CampaignSpec.from_environment(env, config=config),
-        workers=args.workers, shards=args.shards, progress=progress,
-        cache=cache)
-    campaign = runner.run(candidates)
+    spec = CampaignSpec.from_environment(env, config=config)
+    anomalies = []
+    health = None
+    if args.no_supervise:
+        runner = ParallelCampaignRunner(
+            spec, workers=args.workers, shards=args.shards,
+            progress=progress, cache=cache)
+        campaign = runner.run(candidates)
+    else:
+        runner = CampaignSupervisor(
+            spec, workers=args.workers, shards=args.shards,
+            progress=progress, cache=cache,
+            config=SupervisorConfig(
+                shard_timeout=args.shard_timeout,
+                cycle_budget=args.cycle_budget,
+                max_retries=args.max_retries,
+                quarantine=not args.no_quarantine))
+        try:
+            campaign = runner.run(candidates)
+        except CampaignAborted as err:
+            print(f"error: campaign aborted: {err}", file=sys.stderr)
+            if cache is not None:
+                cache.close()
+            return 1
+        anomalies = runner.anomalies
+        health = runner.last_stats.health \
+            if runner.last_stats is not None else None
 
     counts = campaign.outcomes()
     rows = [[name, count, pct(count / len(campaign.results))
@@ -210,10 +255,14 @@ def cmd_campaign(args) -> int:
           f"{pct(campaign.measured_safe_fraction())}")
     if runner.last_stats is not None:
         print(runner.last_stats.summary())
+    if anomalies:
+        from .reporting.health import render_campaign_health
+        print(render_campaign_health(campaign, anomalies,
+                                     health=health))
     if cache is not None:
         print(cache.stats.summary())
         cache.close()
-    return 0
+    return EXIT_QUARANTINE if anomalies else 0
 
 
 def cmd_store(args) -> int:
@@ -250,8 +299,24 @@ def cmd_store(args) -> int:
                 if run["safe_fraction"] is not None:
                     pairs.append(("safe fraction",
                                   pct(run["safe_fraction"])))
+                attempts = cache.db.shard_attempt_rows(args.run)
+                if attempts:
+                    failed = sum(1 for a in attempts
+                                 if a["status"] != "ok")
+                    pairs.append(("shard attempts",
+                                  f"{len(attempts)} "
+                                  f"({failed} failed)"))
                 print(render_kv(pairs,
                                 title=f"=== run #{args.run} ==="))
+                anomalies = cache.db.anomaly_rows(run_id=args.run)
+                if anomalies:
+                    print(render_table(
+                        ["fault", "zone", "kind", "attempts",
+                         "worker"],
+                        [[a.fault_name, a.zone or "?", a.kind,
+                          a.attempts, a.worker or "-"]
+                         for a in anomalies],
+                        title="quarantined faults"))
                 return 0
             rows = run_summary_rows(cache, limit=args.limit,
                                     design=args.design)
@@ -260,7 +325,7 @@ def cmd_store(args) -> int:
                 return 0
             print(render_table(
                 ["run", "status", "design", "faults", "hits",
-                 "misses", "DC", "safe", "DU", "wall"],
+                 "misses", "DC", "safe", "DU", "Q", "wall"],
                 rows, title="=== recorded campaign runs ==="))
             return 0
 
@@ -411,6 +476,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true",
                    help="skip the campaign store: simulate every "
                         "fault and record nothing")
+    p.add_argument("--shard-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="kill and retry a shard whose worker exceeds "
+                        "this wall-clock budget")
+    p.add_argument("--cycle-budget", type=int, default=None,
+                   metavar="CYCLES",
+                   help="per-pass simulator cycle watchdog: a runaway "
+                        "pass is quarantined as a hang")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="failed-shard retries before bisecting to "
+                        "isolate the poison fault (default: 2)")
+    p.add_argument("--no-quarantine", action="store_true",
+                   help="abort the campaign on an inexecutable fault "
+                        "instead of quarantining it")
+    p.add_argument("--no-supervise", action="store_true",
+                   help="run the bare campaign engine without the "
+                        "fault-tolerant supervisor")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("store",

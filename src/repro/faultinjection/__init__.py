@@ -40,11 +40,22 @@ from .parallel import (
     GoldenTrace,
     MemoryImageSetup,
     ParallelCampaignRunner,
+    SafeProgress,
     ShardStats,
     compute_golden_trace,
     run_shard,
     shard_candidates,
     snapshot_setup,
+)
+from .supervisor import (
+    ANOMALY_CRASH,
+    ANOMALY_EXCEPTION,
+    ANOMALY_HANG,
+    CampaignAborted,
+    CampaignHealth,
+    CampaignSupervisor,
+    FaultAnomaly,
+    SupervisorConfig,
 )
 from .analyzer import (
     EffectComparison,
@@ -52,7 +63,12 @@ from .analyzer import (
     ZoneMeasurement,
 )
 from .diagnosis import Candidate, FaultDictionary, signature_of
-from .environment import InjectionEnvironment, build_environment
+from .environment import (
+    InjectionEnvironment,
+    StimuliValidationError,
+    build_environment,
+    validate_stimuli,
+)
 from .faultsim import FaultSimReport, simulate_faults
 from .validation import (
     StepResult,
@@ -92,11 +108,16 @@ __all__ = [
     "FaultResult", "OUTCOME_DD", "OUTCOME_DETECTED_SAFE", "OUTCOME_DU",
     "OUTCOME_SAFE",
     "CampaignSpec", "CampaignStats", "GoldenTrace", "MemoryImageSetup",
-    "ParallelCampaignRunner", "ShardStats", "compute_golden_trace",
+    "ParallelCampaignRunner", "SafeProgress", "ShardStats",
+    "compute_golden_trace",
     "run_shard", "shard_candidates", "snapshot_setup",
+    "ANOMALY_CRASH", "ANOMALY_EXCEPTION", "ANOMALY_HANG",
+    "CampaignAborted", "CampaignHealth", "CampaignSupervisor",
+    "FaultAnomaly", "SupervisorConfig",
     "EffectComparison", "ResultAnalyzer", "ZoneMeasurement",
     "Candidate", "FaultDictionary", "signature_of",
-    "InjectionEnvironment", "build_environment",
+    "InjectionEnvironment", "StimuliValidationError",
+    "build_environment", "validate_stimuli",
     "FaultSimReport", "simulate_faults",
     "StepResult", "ValidationConfig", "ValidationReport",
     "run_validation",

@@ -23,6 +23,58 @@ from .manager import CampaignConfig, FaultInjectionManager
 from .profiler import OperationalProfile, profile_workload
 
 
+class StimuliValidationError(ValueError):
+    """The workload's stimuli don't match the circuit's input ports."""
+
+
+def validate_stimuli(circuit: Circuit, stimuli) -> None:
+    """Check stimuli keys against the circuit's primary inputs.
+
+    Catches the two silent campaign-invalidating mistakes up front,
+    before hours of fault simulation produce meaningless coverage:
+
+    * an **unknown** key (driven in some cycle but not an input port
+      of the circuit) would be ignored by the simulator — typically a
+      typo or a stale signal name after a netlist edit;
+    * a **missing** input (a port no cycle ever drives) silently
+      holds its reset value for the whole workload.
+
+    Raises :class:`StimuliValidationError` naming the offending
+    signals and where they first occur; returns ``None`` when the
+    stimuli are consistent.  Empty stimuli are vacuously valid.
+    """
+    stimuli = list(stimuli)
+    known = set(circuit.inputs)
+    unknown: dict[str, int] = {}
+    driven: set[str] = set()
+    for cycle, vector in enumerate(stimuli):
+        for name in vector:
+            if name in known:
+                driven.add(name)
+            elif name not in unknown:
+                unknown[name] = cycle
+    problems = []
+    if unknown:
+        names = ", ".join(
+            f"{name!r} (first driven in cycle {cycle})"
+            for name, cycle in sorted(unknown.items()))
+        problems.append(
+            f"stimuli drive signal(s) that are not primary inputs "
+            f"of {circuit.name!r}: {names}")
+    missing = known - driven
+    if missing and driven:
+        names = ", ".join(repr(n) for n in sorted(missing))
+        problems.append(
+            f"primary input(s) of {circuit.name!r} never driven in "
+            f"any of the {len(stimuli)} stimuli cycle(s): "
+            f"{names} (they would hold their reset value for the "
+            f"whole workload)")
+    if problems:
+        known_names = ", ".join(repr(n) for n in sorted(known))
+        problems.append(f"known primary inputs: {known_names}")
+        raise StimuliValidationError("\n".join(problems))
+
+
 class InjectionEnvironment:
     """A ready-to-run injection environment."""
 
@@ -75,6 +127,18 @@ class InjectionEnvironment:
         from .parallel import ParallelCampaignRunner
         return ParallelCampaignRunner(self.spec(config), workers=workers,
                                       **kw)
+
+    def supervisor(self, workers: int | None = None,
+                   config: CampaignConfig | None = None, **kw):
+        """A fault-tolerant :class:`CampaignSupervisor` over this
+        environment (see :mod:`~repro.faultinjection.supervisor`)."""
+        from .supervisor import CampaignSupervisor
+        return CampaignSupervisor(self.spec(config), workers=workers,
+                                  **kw)
+
+    def validate_stimuli(self) -> None:
+        """Raise :class:`StimuliValidationError` on bad stimuli."""
+        validate_stimuli(self.circuit, self.stimuli)
 
     # ------------------------------------------------------------------
     def as_config_dict(self) -> dict:

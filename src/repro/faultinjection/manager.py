@@ -43,6 +43,10 @@ class CampaignConfig:
     detection_window: int = 12     # cycles an alarm may trail corruption
     max_cycles: int | None = None  # optionally trim the workload
     collect_toggles: bool = False  # any-machine toggles (step b credit)
+    #: runaway watchdog: a pass simulating more than this many cycles
+    #: raises :class:`~repro.hdl.simulator.CycleBudgetExceeded` (the
+    #: supervisor quarantines the offending faults as hangs)
+    cycle_budget: int | None = None
     #: cycle ranges of software/hardware test phases: a mismatch
     #: observed inside one counts as detected (the test's compare step
     #: flags it) — the detection model of the SW start-up test claims
@@ -265,7 +269,8 @@ class FaultInjectionManager:
         machines = len(batch) + 1
         sim = Simulator(self.circuit, machines=machines,
                         collect_toggles=self.config.collect_toggles,
-                        toggle_any_machine=True)
+                        toggle_any_machine=True,
+                        cycle_budget=self.config.cycle_budget)
         if self.setup is not None:
             self.setup(sim)
 

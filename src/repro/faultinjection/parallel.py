@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from multiprocessing import get_context
@@ -266,6 +267,39 @@ def _worker_run(index: int, shard: list[Fault]):
 # ----------------------------------------------------------------------
 # observability
 # ----------------------------------------------------------------------
+class SafeProgress:
+    """Shield a campaign from a misbehaving ``progress`` callback.
+
+    The callback is user code; an exception inside it must not abort
+    an hours-long campaign.  The first failure is reported once as a
+    :class:`RuntimeWarning` and the callback is disabled for the rest
+    of the run.
+    """
+
+    def __init__(self, callback):
+        self.callback = callback
+        self.disabled = False
+
+    @classmethod
+    def wrap(cls, callback):
+        """``None`` stays ``None``; wrapping is idempotent."""
+        if callback is None or isinstance(callback, cls):
+            return callback
+        return cls(callback)
+
+    def __call__(self, done: int, total: int) -> None:
+        if self.disabled:
+            return
+        try:
+            self.callback(done, total)
+        except Exception as exc:
+            self.disabled = True
+            warnings.warn(
+                f"progress callback raised {exc!r}; disabling it for "
+                f"the rest of the campaign", RuntimeWarning,
+                stacklevel=2)
+
+
 @dataclass
 class ShardStats:
     """Timing and volume of one shard's execution."""
@@ -287,6 +321,9 @@ class CampaignStats:
     golden_seconds: float = 0.0
     wall_seconds: float = 0.0
     shards: list[ShardStats] = field(default_factory=list)
+    #: set by :class:`~repro.faultinjection.supervisor.\
+    #: CampaignSupervisor`: retry/quarantine/degradation counters
+    health: "object | None" = None
 
     def by_worker(self) -> dict[int, list[ShardStats]]:
         groups: dict[int, list[ShardStats]] = {}
@@ -305,6 +342,8 @@ class CampaignStats:
             busy = sum(s.wall_seconds for s in shards)
             lines.append(f"worker {pid}: {faults} faults in "
                          f"{len(shards)} shard(s), {busy:.2f}s busy")
+        if self.health is not None:
+            lines.append(self.health.summary())
         return "\n".join(lines)
 
 
@@ -331,7 +370,7 @@ class ParallelCampaignRunner:
         self.workers = workers if workers is not None \
             else (os.cpu_count() or 1)
         self.shards = shards
-        self.progress = progress
+        self.progress = SafeProgress.wrap(progress)
         self.start_method = start_method
         #: optional :class:`repro.store.CampaignCache`: cached faults
         #: are served from the store, only misses are sharded

@@ -25,6 +25,7 @@ from .simulator import (
     BRIDGE_AND,
     BRIDGE_DOMINANT,
     BRIDGE_OR,
+    CycleBudgetExceeded,
     Simulator,
 )
 from .coverage import ToggleReport, measure_toggle_coverage
@@ -37,6 +38,7 @@ __all__ = [
     "Circuit", "Flop", "Gate", "MemoryBlock", "NetlistError",
     "Module", "Vec", "Simulator", "library",
     "BRIDGE_AND", "BRIDGE_DOMINANT", "BRIDGE_OR",
+    "CycleBudgetExceeded",
     "ToggleReport", "measure_toggle_coverage",
     "parse_verilog", "roundtrip", "write_verilog",
     "VcdTracer", "trace_workload",

@@ -41,18 +41,33 @@ BRIDGE_OR = "or"
 BRIDGE_DOMINANT = "dominant"
 
 
+class CycleBudgetExceeded(RuntimeError):
+    """The simulation ran past its cycle budget (runaway watchdog).
+
+    Raised from :meth:`Simulator.step_eval` once the simulator has
+    already evaluated ``cycle_budget`` cycles.  Campaign engines treat
+    it as a structured *hang* anomaly rather than a crash: the budget
+    is the deterministic, in-process counterpart of the supervisor's
+    wall-clock shard timeout.
+    """
+
+
 class Simulator:
     """Cycle-based simulator for a fixed number of parallel machines."""
 
     def __init__(self, circuit: Circuit, machines: int = 1,
                  collect_toggles: bool = False,
-                 toggle_any_machine: bool = False):
+                 toggle_any_machine: bool = False,
+                 cycle_budget: int | None = None):
         if machines < 1:
             raise ValueError("need at least one machine")
         self.circuit = circuit
         self.machines = machines
         self.full_mask = (1 << machines) - 1
         self.cycle = 0
+        #: watchdog: evaluating more than this many cycles raises
+        #: :class:`CycleBudgetExceeded` (``None`` disables the check)
+        self.cycle_budget = cycle_budget
 
         order = circuit.levelize()
         self._program = []
@@ -438,6 +453,11 @@ class Simulator:
         self.step_commit()
 
     def step_eval(self, inputs: dict[str, int] | None = None) -> None:
+        if self.cycle_budget is not None and \
+                self.cycle >= self.cycle_budget:
+            raise CycleBudgetExceeded(
+                f"simulation of {self.circuit.name!r} exceeded its "
+                f"cycle budget of {self.cycle_budget} cycle(s)")
         if inputs:
             for name, value in inputs.items():
                 self.set_input(name, value)

@@ -2,7 +2,14 @@
 
 from .tables import pct, render_kv, render_table
 from .dossier import build_dossier
+from .health import (
+    QuarantineBounds,
+    quarantine_bounds,
+    render_campaign_health,
+)
 from .rundiff import render_run_diff
 
 __all__ = ["pct", "render_kv", "render_table", "build_dossier",
+           "QuarantineBounds", "quarantine_bounds",
+           "render_campaign_health",
            "render_run_diff"]

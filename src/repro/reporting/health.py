@@ -1,0 +1,144 @@
+"""Campaign-health reporting: quarantined faults and metric bounds.
+
+A quarantined fault is *missing evidence*, not a benign omission: the
+campaign cannot claim anything about how the safety mechanisms would
+have handled it.  IEC 61508 arguments must therefore bound the
+claimed metrics pessimistically — every quarantined fault might have
+been dangerous-undetected — while the optimistic bound (all
+quarantined faults behave like the measured population's best case)
+shows how much the quarantine actually costs.  This module computes
+those bounds and renders the per-zone quarantine table that goes in
+the campaign report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tables import pct, render_kv, render_table
+
+# outcome class names, mirrored from repro.faultinjection.manager —
+# importing the manager here would be circular (the campaign modules
+# import the reporting table helpers)
+OUTCOME_SAFE = "safe"
+OUTCOME_DETECTED_SAFE = "detected_safe"
+OUTCOME_DD = "dangerous_detected"
+OUTCOME_DU = "dangerous_undetected"
+
+
+@dataclass
+class QuarantineBounds:
+    """Best/worst-case DC and safe-fraction under missing evidence.
+
+    *Best* assumes every quarantined fault would have been safe (the
+    measured metrics stand, and quarantined faults add to the safe
+    population); *worst* assumes every quarantined fault would have
+    been dangerous-undetected.
+    """
+
+    measured: int          # faults with evidence
+    quarantined: int       # faults without
+    dc_measured: float
+    dc_best: float
+    dc_worst: float
+    safe_measured: float
+    safe_best: float
+    safe_worst: float
+
+    @property
+    def clean(self) -> bool:
+        return self.quarantined == 0
+
+
+def quarantine_bounds(result, quarantined: int) -> QuarantineBounds:
+    """Bound campaign DC / safe fraction given quarantined faults."""
+    counts = result.outcomes()
+    dd = counts[OUTCOME_DD]
+    du = counts[OUTCOME_DU]
+    safe = counts[OUTCOME_SAFE] + counts[OUTCOME_DETECTED_SAFE]
+    measured = len(result.results)
+    total = measured + quarantined
+    dc_measured = result.measured_dc()
+    dangerous = dd + du
+    # best case: no quarantined fault was dangerous — measured DC holds
+    dc_best = dc_measured
+    # worst case: every quarantined fault was dangerous-undetected
+    dc_worst = dd / (dangerous + quarantined) \
+        if dangerous + quarantined else dc_measured
+    safe_measured = result.measured_safe_fraction()
+    safe_best = (safe + quarantined) / total if total else 0.0
+    safe_worst = safe / total if total else 0.0
+    return QuarantineBounds(
+        measured=measured, quarantined=quarantined,
+        dc_measured=dc_measured, dc_best=dc_best, dc_worst=dc_worst,
+        safe_measured=safe_measured, safe_best=safe_best,
+        safe_worst=safe_worst)
+
+
+def render_campaign_health(result, anomalies, health=None) -> str:
+    """Render the quarantine section of a campaign report.
+
+    ``anomalies`` is the supervisor's :class:`FaultAnomaly` list;
+    ``health`` the optional :class:`CampaignHealth` counters.  With no
+    anomalies the section is a single all-clear line.
+    """
+    if not anomalies:
+        return ("campaign health: clean — every candidate fault "
+                "produced evidence")
+
+    by_zone: dict[str, list] = {}
+    for anomaly in anomalies:
+        by_zone.setdefault(anomaly.zone or "?", []).append(anomaly)
+
+    zone_results = result.by_zone()
+    rows = []
+    for zone in sorted(set(by_zone) | set(zone_results)):
+        zone_anomalies = by_zone.get(zone, [])
+        if not zone_anomalies:
+            continue
+        kinds: dict[str, int] = {}
+        for anomaly in zone_anomalies:
+            kinds[anomaly.kind] = kinds.get(anomaly.kind, 0) + 1
+        kind_text = ", ".join(f"{n}×{k}"
+                              for k, n in sorted(kinds.items()))
+        dd = du = 0
+        for res in zone_results.get(zone, []):
+            outcome = result.outcome_of(res)
+            if outcome == OUTCOME_DD:
+                dd += 1
+            elif outcome == OUTCOME_DU:
+                du += 1
+        q = len(zone_anomalies)
+        measured_dc = (f"{pct(dd / (dd + du))}"
+                       if dd + du else "-")
+        worst_dc = (f"{pct(dd / (dd + du + q))}"
+                    if dd + du + q else "-")
+        rows.append([zone, q, kind_text,
+                     len(zone_results.get(zone, [])),
+                     measured_dc, worst_dc])
+
+    bounds = quarantine_bounds(result, len(anomalies))
+    parts = [render_table(
+        ["zone", "quarantined", "kinds", "measured", "zone DC",
+         "worst-case DC"],
+        rows, title="Quarantined faults by zone")]
+    pairs = [
+        ("faults with evidence", bounds.measured),
+        ("faults quarantined", bounds.quarantined),
+        ("DC (measured / worst-case)",
+         f"{pct(bounds.dc_measured)} / {pct(bounds.dc_worst)}"),
+        ("safe fraction (best / worst)",
+         f"{pct(bounds.safe_best)} / {pct(bounds.safe_worst)}"),
+    ]
+    if health is not None:
+        pairs.append(("engine failures",
+                      f"{health.crashes} crash(es), "
+                      f"{health.hangs} hang(s), "
+                      f"{health.exceptions} exception(s)"))
+    parts.append(render_kv(pairs, title="Metric bounds under "
+                                        "quarantine"))
+    names = ", ".join(a.fault_name for a in anomalies[:8])
+    if len(anomalies) > 8:
+        names += f", … ({len(anomalies) - 8} more)"
+    parts.append(f"quarantined: {names}")
+    return "\n\n".join(parts)

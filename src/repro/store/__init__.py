@@ -19,7 +19,7 @@ runs and reports which zones regressed.
 
 from .blobs import BlobStore, CorruptBlobError
 from .cache import CacheStats, CampaignCache, CampaignPlan
-from .db import OutcomeRow, StoreDB
+from .db import AnomalyRow, OutcomeRow, StoreDB
 from .fingerprint import (
     FP_VERSION,
     FingerprintContext,
@@ -39,7 +39,7 @@ from .query import (
 __all__ = [
     "BlobStore", "CorruptBlobError",
     "CacheStats", "CampaignCache", "CampaignPlan",
-    "OutcomeRow", "StoreDB",
+    "AnomalyRow", "OutcomeRow", "StoreDB",
     "FP_VERSION", "FingerprintContext", "SupportIndex",
     "fault_descriptor",
     "GcResult", "RunDiff", "StoreStats", "ZoneChange",

@@ -44,6 +44,7 @@ class CacheStats:
     simulated: int = 0       # faults actually run through a simulator
     uncacheable: int = 0     # faults that bypassed the store entirely
     corrupt: int = 0         # corrupt/unreadable entries re-derived
+    poisoned: int = 0        # known-poison faults quarantined up front
     golden_hits: int = 0
     golden_misses: int = 0
 

@@ -78,6 +78,31 @@ CREATE TABLE IF NOT EXISTS golden(
     digest     TEXT NOT NULL,
     created_at REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS anomalies(
+    fault_fp     TEXT PRIMARY KEY,
+    fault_name   TEXT NOT NULL,
+    zone         TEXT,
+    kind         TEXT NOT NULL,
+    worker       INTEGER,
+    traceback    TEXT,
+    wall_seconds REAL,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    run_id       INTEGER,
+    created_at   REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS shard_attempts(
+    run_id       INTEGER NOT NULL,
+    seq          INTEGER NOT NULL,
+    shard        TEXT NOT NULL,
+    attempt      INTEGER NOT NULL,
+    status       TEXT NOT NULL,
+    faults       INTEGER NOT NULL,
+    worker       INTEGER,
+    wall_seconds REAL,
+    detail       TEXT,
+    created_at   REAL NOT NULL,
+    PRIMARY KEY(run_id, seq)
+);
 CREATE INDEX IF NOT EXISTS idx_run_faults_fp
     ON run_faults(fault_fp);
 CREATE INDEX IF NOT EXISTS idx_runs_env ON runs(env_fp);
@@ -97,6 +122,26 @@ class OutcomeRow:
     diag_cycle: int | None
     first_alarm: str | None
     effects: dict[str, int]
+
+
+@dataclass
+class AnomalyRow:
+    """One quarantined poison fault, as stored.
+
+    Keyed by the fault's content address so a resumed campaign over
+    the same environment recognises the poison fault up front and
+    never re-executes it.
+    """
+
+    fault_fp: str
+    fault_name: str
+    zone: str | None
+    kind: str                    # crash | hang | exception
+    worker: int | None = None
+    traceback: str | None = None
+    wall_seconds: float | None = None
+    attempts: int = 0
+    run_id: int | None = None
 
 
 class StoreDB:
@@ -241,6 +286,91 @@ class StoreDB:
                 for row in cursor.fetchall()]
 
     # ------------------------------------------------------------------
+    # anomalies (quarantined poison faults) and shard attempt history
+    # ------------------------------------------------------------------
+    def put_anomalies(self, rows: list[AnomalyRow]) -> int:
+        """Record quarantined faults; re-quarantining updates the row
+        (attempt counts and tracebacks from the newest run win)."""
+        now = time.time()
+        with self._conn:
+            cursor = self._conn.executemany(
+                "INSERT OR REPLACE INTO anomalies VALUES "
+                "(?,?,?,?,?,?,?,?,?,?)",
+                [(r.fault_fp, r.fault_name, r.zone, r.kind, r.worker,
+                  r.traceback, r.wall_seconds, r.attempts, r.run_id,
+                  now) for r in rows])
+        return cursor.rowcount
+
+    def get_anomalies(self, fps: list[str]) -> dict[str, AnomalyRow]:
+        """Fetch known poison faults among the given fingerprints."""
+        out: dict[str, AnomalyRow] = {}
+        fps = list(fps)
+        for lo in range(0, len(fps), 500):
+            chunk = fps[lo:lo + 500]
+            marks = ",".join("?" * len(chunk))
+            rows = self._conn.execute(
+                f"SELECT fault_fp, fault_name, zone, kind, worker,"
+                f" traceback, wall_seconds, attempts, run_id"
+                f" FROM anomalies WHERE fault_fp IN ({marks})",
+                chunk).fetchall()
+            for row in rows:
+                out[row[0]] = AnomalyRow(*row)
+        return out
+
+    def anomaly_rows(self, run_id: int | None = None
+                     ) -> list[AnomalyRow]:
+        query = ("SELECT fault_fp, fault_name, zone, kind, worker,"
+                 " traceback, wall_seconds, attempts, run_id"
+                 " FROM anomalies")
+        params: tuple = ()
+        if run_id is not None:
+            query += " WHERE run_id=?"
+            params = (run_id,)
+        query += " ORDER BY fault_name"
+        return [AnomalyRow(*row) for row in
+                self._conn.execute(query, params).fetchall()]
+
+    def anomaly_count(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM anomalies").fetchone()[0]
+
+    def clear_anomaly(self, fault_fp: str) -> int:
+        """Forget a poison fault so the next campaign retries it."""
+        with self._conn:
+            return self._conn.execute(
+                "DELETE FROM anomalies WHERE fault_fp=?",
+                (fault_fp,)).rowcount
+
+    def put_shard_attempts(self, run_id: int,
+                           attempts: list[tuple]) -> None:
+        """Record a run's shard attempt log: ``(shard, attempt,
+        status, faults, worker, wall_seconds, detail)`` tuples in
+        scheduling order."""
+        now = time.time()
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO shard_attempts VALUES "
+                "(?,?,?,?,?,?,?,?,?,?)",
+                [(run_id, seq, shard, attempt, status, faults,
+                  worker, seconds, detail, now)
+                 for seq, (shard, attempt, status, faults, worker,
+                           seconds, detail)
+                 in enumerate(attempts)])
+
+    def shard_attempt_rows(self, run_id: int) -> list[dict]:
+        cursor = self._conn.execute(
+            "SELECT seq, shard, attempt, status, faults, worker,"
+            " wall_seconds, detail FROM shard_attempts"
+            " WHERE run_id=? ORDER BY seq", (run_id,))
+        keys = ("seq", "shard", "attempt", "status", "faults",
+                "worker", "wall_seconds", "detail")
+        return [dict(zip(keys, row)) for row in cursor.fetchall()]
+
+    def shard_attempt_count(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM shard_attempts").fetchone()[0]
+
+    # ------------------------------------------------------------------
     # golden traces
     # ------------------------------------------------------------------
     def get_golden(self, key: str) -> str | None:
@@ -286,6 +416,12 @@ class StoreDB:
             removed_outcomes = self._conn.execute(
                 "DELETE FROM outcomes WHERE fault_fp NOT IN"
                 " (SELECT fault_fp FROM run_faults)").rowcount
+            self._conn.execute(
+                "DELETE FROM anomalies WHERE fault_fp NOT IN"
+                " (SELECT fault_fp FROM run_faults)")
+            self._conn.execute(
+                "DELETE FROM shard_attempts WHERE run_id NOT IN"
+                " (SELECT run_id FROM runs)")
             self._conn.execute(
                 "DELETE FROM golden WHERE digest NOT IN"
                 " (SELECT golden_blob FROM runs"

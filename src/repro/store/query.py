@@ -34,6 +34,8 @@ class StoreStats:
     blobs: int
     blob_bytes: int
     db_bytes: int
+    anomalies: int = 0
+    shard_attempts: int = 0
 
     def as_pairs(self) -> list[tuple[str, object]]:
         return [
@@ -42,6 +44,8 @@ class StoreStats:
             ("completed runs", self.done_runs),
             ("interrupted runs", self.interrupted_runs),
             ("cached fault outcomes", self.outcomes),
+            ("quarantined faults", self.anomalies),
+            ("shard attempts logged", self.shard_attempts),
             ("blobs", self.blobs),
             ("blob bytes", self.blob_bytes),
             ("index bytes", self.db_bytes),
@@ -60,7 +64,9 @@ def store_stats(cache: CampaignCache) -> StoreStats:
         outcomes=cache.db.outcome_count(),
         blobs=len(cache.blobs),
         blob_bytes=cache.blobs.total_bytes(),
-        db_bytes=db_path.stat().st_size if db_path.exists() else 0)
+        db_bytes=db_path.stat().st_size if db_path.exists() else 0,
+        anomalies=cache.db.anomaly_count(),
+        shard_attempts=cache.db.shard_attempt_count())
 
 
 # ----------------------------------------------------------------------
@@ -214,6 +220,7 @@ def run_summary_rows(cache: CampaignCache, limit: int = 20,
             f"{(run['safe_fraction'] or 0.0) * 100:.2f}%"
             if run["safe_fraction"] is not None else "-",
             counts.get(_DANGEROUS_UNDETECTED, "-"),
+            counts.get("quarantined", 0) or "-",
             f"{run['wall_seconds']:.2f}s"
             if run["wall_seconds"] is not None else "-",
         ])
