@@ -31,9 +31,14 @@ from .soc.subsystem import MemorySubsystem
 #: variable
 DEFAULT_STORE = ".socfmea_store"
 
-#: ``soc-fmea campaign`` exit code: the campaign completed but one or
-#: more poison faults were quarantined — the measured DC/SFF are
-#: bounds, not exact values (0 = clean, 1 = aborted/error, 2 = usage)
+#: consolidated exit-code taxonomy (see docs/methodology.md §4e):
+#: 0 — success; 1 — operational failure (aborted campaign, internal
+#: error); 2 — coded diagnostics were reported (bad input, usage);
+#: 3 — completed, but the evidence is bounded (quarantined faults or
+#: degraded-mode skipped zones)
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_DIAGNOSTIC = 2
 EXIT_QUARANTINE = 3
 
 
@@ -61,25 +66,44 @@ def _make_subsystem(args) -> MemorySubsystem:
 
 
 def cmd_zones(args) -> int:
-    sub = _make_subsystem(args)
-    zone_set = sub.extract_zones()
-    print(render_kv(sorted(zone_set.summary().items()),
-                    title=f"sensible zones of {sub.cfg.name}"))
+    if args.netlist:
+        from .hdl.verilog import parse_verilog_file
+        from .zones.extractor import extract_zones
+        circuit = parse_verilog_file(args.netlist)
+        zone_set = extract_zones(circuit)
+        title = f"sensible zones of {circuit.name}"
+    else:
+        sub = _make_subsystem(args)
+        zone_set = sub.extract_zones()
+        title = f"sensible zones of {sub.cfg.name}"
+    print(render_kv(sorted(zone_set.summary().items()), title=title))
     if args.list:
         rows = [[z.name, z.kind.value, z.size_bits, z.cone_gates]
                 for z in zone_set.zones]
         print(render_table(["zone", "kind", "bits", "cone gates"], rows))
-    return 0
+    if args.save:
+        from .zones.io import save_zones
+        save_zones(zone_set, args.save)
+        print(f"zone config written to {args.save}")
+    return EXIT_OK
 
 
 def cmd_fmea(args) -> int:
-    sub = _make_subsystem(args)
-    sheet = sub.worksheet()
+    if args.load:
+        from .fmea.io import load_worksheet
+        sheet = load_worksheet(args.load)
+    else:
+        sub = _make_subsystem(args)
+        sheet = sub.worksheet()
     print(full_report(sheet, hft=args.hft, top=args.top))
     if args.csv:
         sheet.save_csv(args.csv)
         print(f"\nworksheet written to {args.csv}")
-    return 0
+    if args.save:
+        from .fmea.io import save_worksheet
+        save_worksheet(sheet, args.save)
+        print(f"worksheet written to {args.save}")
+    return EXIT_OK
 
 
 def cmd_validate(args) -> int:
@@ -198,12 +222,61 @@ def cmd_campaign(args) -> int:
         return 2
     sub = _make_subsystem(args)
     env = build_environment(sub, quick=not args.full)
+
+    if args.stimuli:
+        from .diagnostics import DiagnosticReport
+        from .faultinjection.environment import (
+            load_stimuli,
+            validate_stimuli_report,
+        )
+        sreport = DiagnosticReport()
+        cycles = load_stimuli(args.stimuli, report=sreport)
+        if cycles is not None:
+            validate_stimuli_report(env.circuit, cycles, sreport,
+                                    source=args.stimuli)
+        if not sreport.ok:
+            print(sreport.render(title="stimuli"), file=sys.stderr)
+            return EXIT_DIAGNOSTIC
+        env.stimuli = cycles
     try:
         validate_stimuli(env.circuit, env.stimuli)
     except StimuliValidationError as err:
         print(f"error: invalid stimuli for {sub.cfg.name}:\n{err}",
               file=sys.stderr)
-        return 2
+        return EXIT_DIAGNOSTIC
+
+    skipped_zones: list[str] = []
+    if args.zones:
+        from .diagnostics import DiagnosticReport
+        from .zones.io import load_zone_config, resolve_zone_config
+        zreport = DiagnosticReport()
+        data = load_zone_config(args.zones, report=zreport)
+        if data is None:
+            print(zreport.render(title="zone config"),
+                  file=sys.stderr)
+            return EXIT_DIAGNOSTIC
+        resolution = resolve_zone_config(
+            data, env.zone_set, env.circuit, zreport,
+            source=args.zones)
+        if not zreport.ok and not args.degraded:
+            print(zreport.render(title="zone config"),
+                  file=sys.stderr)
+            print("(strict mode: pass --degraded to run the "
+                  "resolvable zones and bound the metrics)",
+                  file=sys.stderr)
+            return EXIT_DIAGNOSTIC
+        if zreport.diagnostics:
+            print(zreport.render(title="zone config"),
+                  file=sys.stderr)
+        selected = set(resolution.selected)
+        skipped_zones = list(resolution.skipped)
+        env.zone_set.zones = [z for z in env.zone_set.zones
+                              if z.name in selected]
+        if not env.zone_set.zones:
+            print("error: no configured zone resolved against the "
+                  "netlist — nothing to inject", file=sys.stderr)
+            return EXIT_DIAGNOSTIC
+
     candidates = env.candidates()
     if args.sample:
         candidates = randomize(candidates, args.sample)
@@ -259,10 +332,67 @@ def cmd_campaign(args) -> int:
         from .reporting.health import render_campaign_health
         print(render_campaign_health(campaign, anomalies,
                                      health=health))
+    if skipped_zones:
+        from .reporting.health import (
+            degraded_bounds,
+            render_degraded_health,
+        )
+        print(render_degraded_health(
+            degraded_bounds(campaign, skipped_zones)))
     if cache is not None:
         print(cache.stats.summary())
         cache.close()
-    return EXIT_QUARANTINE if anomalies else 0
+    return (EXIT_QUARANTINE if anomalies or skipped_zones
+            else EXIT_OK)
+
+
+def cmd_doctor(args) -> int:
+    """Audit project artifacts; report every problem, change nothing."""
+    from .diagnostics import audit_project, discover_project
+
+    found = discover_project(args.project)
+    paths = {kind: getattr(args, kind, None) or found.get(kind)
+             for kind in ("netlist", "zones", "worksheet", "stimuli")}
+    store = None
+    if not args.no_store:
+        store = (getattr(args, "store", None)
+                 or os.environ.get("SOCFMEA_STORE")
+                 or found.get("store"))
+    audit = audit_project(store=store, **paths)
+    if args.json:
+        print(audit.report.to_json(indent=1))
+    else:
+        print(audit.report.render(title="soc-fmea doctor"))
+        print(audit.summary())
+    return EXIT_OK if audit.ok else EXIT_DIAGNOSTIC
+
+
+def cmd_export(args) -> int:
+    """Write a self-consistent project directory for one variant.
+
+    The exported ``netlist.v`` / ``zones.json`` / ``worksheet.json``
+    / ``stimuli.json`` form a project that ``soc-fmea doctor`` audits
+    cleanly — and the natural starting point for editing any one
+    artifact and letting ``doctor`` flag the drift.
+    """
+    from pathlib import Path
+
+    from .faultinjection import build_environment
+    from .faultinjection.environment import save_stimuli
+    from .fmea.io import save_worksheet
+    from .zones.io import save_zones
+
+    sub = _make_subsystem(args)
+    env = build_environment(sub, quick=not args.full)
+    outdir = Path(args.output)
+    outdir.mkdir(parents=True, exist_ok=True)
+    (outdir / "netlist.v").write_text(write_verilog(env.circuit))
+    save_zones(env.zone_set, outdir / "zones.json")
+    save_worksheet(env.worksheet, outdir / "worksheet.json")
+    save_stimuli(env.stimuli, outdir / "stimuli.json")
+    print(f"project exported to {outdir}/ (netlist.v, zones.json, "
+          f"worksheet.json, stimuli.json)")
+    return EXIT_OK
 
 
 def cmd_store(args) -> int:
@@ -339,6 +469,16 @@ def cmd_store(args) -> int:
             print(render_run_diff(diff))
             return 1 if diff.regressed_zones() else 0
 
+        if args.store_command == "fsck":
+            from .store.fsck import fsck_store
+            result = fsck_store(cache, repair=args.repair)
+            print(result.report.render(title="store fsck"))
+            for line in result.repaired:
+                print(f"repaired: {line}")
+            print(result.summary())
+            return (EXIT_OK if result.report.ok
+                    else EXIT_DIAGNOSTIC)
+
         if args.store_command == "gc":
             result = gc_store(cache, keep_runs=args.keep)
             print(render_kv([
@@ -404,6 +544,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_variant(p)
     p.add_argument("--list", action="store_true",
                    help="print every zone")
+    p.add_argument("--netlist", metavar="FILE",
+                   help="extract from a structural Verilog netlist "
+                        "instead of a built-in variant")
+    p.add_argument("--save", metavar="FILE",
+                   help="write the extracted zones as a zone-config "
+                        "JSON file")
     p.set_defaults(func=cmd_zones)
 
     p = sub.add_parser("fmea", help="build and print the worksheet")
@@ -411,6 +557,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hft", type=int, default=0)
     p.add_argument("--top", type=int, default=15)
     p.add_argument("--csv", help="also export the sheet as CSV")
+    p.add_argument("--load", metavar="FILE",
+                   help="report on a saved worksheet JSON file "
+                        "instead of building one")
+    p.add_argument("--save", metavar="FILE",
+                   help="write the worksheet as JSON")
     p.set_defaults(func=cmd_fmea)
 
     p = sub.add_parser("validate",
@@ -493,7 +644,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-supervise", action="store_true",
                    help="run the bare campaign engine without the "
                         "fault-tolerant supervisor")
+    p.add_argument("--zones", metavar="FILE",
+                   help="restrict the campaign to a zone-config "
+                        "file, cross-checked against the netlist")
+    p.add_argument("--stimuli", metavar="FILE",
+                   help="drive the campaign with a stimuli file "
+                        "instead of the built-in workload")
+    strictness = p.add_mutually_exclusive_group()
+    strictness.add_argument(
+        "--strict", action="store_true",
+        help="abort with coded diagnostics when any configured zone "
+             "fails to resolve (default)")
+    strictness.add_argument(
+        "--degraded", action="store_true",
+        help="skip unresolvable zones, run the rest, and bound "
+             "DC/SFF for the lost evidence (exit 3)")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "doctor", help="audit netlist + zones + worksheet + stimuli "
+                       "+ store; report all coded diagnostics")
+    p.add_argument("project", nargs="?", default=".",
+                   help="project directory to discover artifacts in "
+                        "(default: .)")
+    p.add_argument("--netlist", metavar="FILE")
+    p.add_argument("--zones", metavar="FILE")
+    p.add_argument("--worksheet", metavar="FILE")
+    p.add_argument("--stimuli", metavar="FILE")
+    add_store(p)
+    p.add_argument("--no-store", action="store_true",
+                   help="skip the campaign-store audit")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable diagnostic report on "
+                        "stdout")
+    p.set_defaults(func=cmd_doctor)
+
+    p = sub.add_parser(
+        "export", help="write a self-consistent project directory "
+                       "(netlist, zones, worksheet, stimuli)")
+    add_variant(p)
+    p.add_argument("--full", action="store_true",
+                   help="export the full (slow) campaign workload")
+    p.add_argument("-o", "--output", required=True, metavar="DIR")
+    p.set_defaults(func=cmd_export)
 
     p = sub.add_parser("store",
                        help="inspect and query the campaign store")
@@ -523,6 +716,17 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(func=cmd_store)
 
     sp = store_sub.add_parser(
+        "fsck", help="audit store invariants (corrupt blobs, "
+                     "dangling rows); --repair deletes broken "
+                     "records so they re-simulate")
+    add_store(sp)
+    sp.add_argument("--repair", action="store_true",
+                    help="delete every record that violates an "
+                         "invariant (safe: deterministic "
+                         "re-simulation restores it)")
+    sp.set_defaults(func=cmd_store)
+
+    sp = store_sub.add_parser(
         "gc", help="drop old runs and unreferenced blobs")
     add_store(sp)
     sp.add_argument("--keep", type=int, default=10,
@@ -536,8 +740,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    from .diagnostics import DiagnosticError
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except DiagnosticError as err:
+        print(err.report.render(title="error"), file=sys.stderr)
+        return EXIT_DIAGNOSTIC
+    except KeyboardInterrupt:
+        raise
+    except BrokenPipeError:
+        # the reader went away (e.g. `soc-fmea ... | head`): exit
+        # quietly; devnull stdout so interpreter teardown can't raise
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return EXIT_FAILURE
+    except Exception as err:   # never leak a traceback to the shell
+        if os.environ.get("SOCFMEA_DEBUG") == "1":
+            raise
+        print(f"E001 error: internal error: "
+              f"{type(err).__name__}: {err}\n"
+              f"    hint: re-run with SOCFMEA_DEBUG=1 for the full "
+              f"traceback", file=sys.stderr)
+        return EXIT_FAILURE
 
 
 if __name__ == "__main__":

@@ -1,0 +1,40 @@
+"""Structured diagnostics for every ingestion and persistence surface.
+
+The subsystem has three parts:
+
+* :mod:`~repro.diagnostics.core` — the :class:`Diagnostic` record
+  (stable code, severity, message, source location, remediation hint),
+  the collecting :class:`DiagnosticReport` and the carrying
+  :class:`DiagnosticError`;
+* :mod:`~repro.diagnostics.codes` — the E1xx/E2xx/E3xx/E4xx taxonomy;
+* :mod:`~repro.diagnostics.project` — the ``soc-fmea doctor`` project
+  audit that cross-checks netlist, zone configuration, worksheet,
+  stimuli and store against each other.
+"""
+
+from .codes import CODES, default_hint, describe, is_known
+from .core import (
+    SEV_ERROR,
+    SEV_INFO,
+    SEV_WARNING,
+    Diagnostic,
+    DiagnosticError,
+    DiagnosticReport,
+    SourceLocation,
+)
+
+from .project import (
+    CONVENTIONAL,
+    ProjectAudit,
+    audit_project,
+    discover_project,
+)
+
+__all__ = [
+    "CODES", "default_hint", "describe", "is_known",
+    "SEV_ERROR", "SEV_INFO", "SEV_WARNING",
+    "Diagnostic", "DiagnosticError", "DiagnosticReport",
+    "SourceLocation",
+    "CONVENTIONAL", "ProjectAudit", "audit_project",
+    "discover_project",
+]

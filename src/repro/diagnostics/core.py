@@ -1,0 +1,219 @@
+"""Structured diagnostics: coded, located, collectable failures.
+
+A TÜV-auditable flow must fail loudly, precisely and recoverably when
+an artifact is malformed — never with a raw Python traceback.  Every
+ingestion and persistence surface of the tool therefore reports
+problems as :class:`Diagnostic` records: a stable code from the
+taxonomy in :mod:`repro.diagnostics.codes`, a severity, a human
+message, an optional ``file:line:column`` source location and a
+remediation hint.  Diagnostics are *collected* into a
+:class:`DiagnosticReport` instead of raised on first error, so one run
+of ``soc-fmea doctor`` (or one failed load) surfaces **all** the
+problems of an artifact at once.
+
+Surfaces that must abort raise :class:`DiagnosticError`, which carries
+the full report; the CLI renders it to stderr and exits with code 2.
+Domain exceptions multiply-inherit their legacy base so existing
+callers keep working (``WorksheetFormatError`` is still a
+``ValueError``, ``VerilogParseError`` a ``NetlistError``,
+``ZoneLookupError`` a ``KeyError``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .codes import describe, default_hint
+
+SEV_ERROR = "error"
+SEV_WARNING = "warning"
+SEV_INFO = "info"
+
+_SEVERITIES = (SEV_ERROR, SEV_WARNING, SEV_INFO)
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Where in an input artifact a diagnostic anchors (clickable)."""
+
+    file: str | None = None
+    line: int | None = None
+    column: int | None = None
+
+    def __str__(self) -> str:
+        parts = [self.file or "<input>"]
+        if self.line is not None:
+            parts.append(str(self.line))
+            if self.column is not None:
+                parts.append(str(self.column))
+        return ":".join(parts)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One coded finding about one input artifact."""
+
+    code: str                       # stable taxonomy code, e.g. "E102"
+    message: str
+    severity: str = SEV_ERROR
+    location: SourceLocation | None = None
+    hint: str | None = None         # remediation; falls back to taxonomy
+
+    def __post_init__(self):
+        if self.severity not in _SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def title(self) -> str:
+        return describe(self.code)
+
+    @property
+    def remediation(self) -> str | None:
+        return self.hint or default_hint(self.code)
+
+    def render(self) -> str:
+        where = f"{self.location}: " if self.location else ""
+        text = f"{self.code} {self.severity}: {where}{self.message}"
+        hint = self.remediation
+        if hint:
+            text += f"\n    hint: {hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        out: dict = {"code": self.code, "severity": self.severity,
+                     "title": self.title, "message": self.message}
+        if self.location is not None:
+            out["file"] = self.location.file
+            out["line"] = self.location.line
+            out["column"] = self.location.column
+        if self.remediation:
+            out["hint"] = self.remediation
+        return out
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered collection of diagnostics from one audit or load.
+
+    The collection never raises while being filled — callers keep
+    parsing/validating after the first problem so a single run surfaces
+    every defect.  :meth:`raise_if_errors` converts an error-bearing
+    report into a :class:`DiagnosticError` at the surface boundary.
+    """
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add(self, diagnostic: Diagnostic) -> Diagnostic:
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def _emit(self, severity: str, code: str, message: str,
+              location: SourceLocation | None = None,
+              file: str | None = None, line: int | None = None,
+              column: int | None = None,
+              hint: str | None = None) -> Diagnostic:
+        if location is None and (file is not None or line is not None):
+            location = SourceLocation(file=file, line=line,
+                                      column=column)
+        return self.add(Diagnostic(code=code, message=message,
+                                   severity=severity, location=location,
+                                   hint=hint))
+
+    def error(self, code: str, message: str, **kw) -> Diagnostic:
+        return self._emit(SEV_ERROR, code, message, **kw)
+
+    def warn(self, code: str, message: str, **kw) -> Diagnostic:
+        return self._emit(SEV_WARNING, code, message, **kw)
+
+    def info(self, code: str, message: str, **kw) -> Diagnostic:
+        return self._emit(SEV_INFO, code, message, **kw)
+
+    def extend(self, other: "DiagnosticReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    # ------------------------------------------------------------------
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == SEV_ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity == SEV_WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        return (f"{len(self.errors)} error(s), "
+                f"{len(self.warnings)} warning(s), "
+                f"{len(self.diagnostics) - len(self.errors) - len(self.warnings)}"
+                f" note(s)")
+
+    def render(self, title: str | None = None) -> str:
+        lines = []
+        if title:
+            lines.append(f"=== {title} ===")
+        if not self.diagnostics:
+            lines.append("no diagnostics — all checks passed")
+        else:
+            lines.extend(d.render() for d in self.diagnostics)
+            lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int | None = 1) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent)
+
+    # ------------------------------------------------------------------
+    def raise_if_errors(self, exc_type: type | None = None) -> None:
+        """Raise ``exc_type(report)`` when the report carries errors."""
+        if self.errors:
+            raise (exc_type or DiagnosticError)(self)
+
+
+class DiagnosticError(Exception):
+    """An operation failed with one or more coded diagnostics.
+
+    ``str(err)`` renders the full report so legacy ``pytest.raises(...,
+    match=...)`` assertions against the old one-line messages keep
+    matching.
+    """
+
+    def __init__(self, report: DiagnosticReport | Diagnostic | str,
+                 *extra):
+        if isinstance(report, Diagnostic):
+            single, report = report, DiagnosticReport()
+            report.add(single)
+        elif isinstance(report, str):
+            message, report = report, DiagnosticReport()
+            report.error("E001", message)
+        self.report = report
+        super().__init__(report.render(), *extra)
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+    @property
+    def diagnostics(self) -> list[Diagnostic]:
+        return self.report.diagnostics

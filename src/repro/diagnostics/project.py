@@ -1,0 +1,176 @@
+"""Whole-project audit behind ``soc-fmea doctor``.
+
+The methodology's inputs — netlist, zone configuration, FMEA
+worksheet, stimuli, campaign store — are produced by different tools
+at different times and drift independently.  ``doctor`` loads every
+artifact it can find, runs all per-file validators *and* the
+cross-artifact consistency checks (zones vs netlist, stimuli vs input
+ports, worksheet vs zone config, store invariants) and reports every
+problem at once as coded diagnostics.  Nothing is modified.
+
+Artifacts are discovered by convention inside a project directory
+(``netlist.v``, ``zones.json``, ``worksheet.json``, ``stimuli.json``,
+``.socfmea_store/``) and can be pinned individually by flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .core import DiagnosticReport
+
+#: conventional artifact file names inside a project directory
+CONVENTIONAL = {
+    "netlist": "netlist.v",
+    "zones": "zones.json",
+    "worksheet": "worksheet.json",
+    "stimuli": "stimuli.json",
+    "store": ".socfmea_store",
+}
+
+
+def discover_project(directory) -> dict[str, Path]:
+    """Paths of the conventional artifacts present in ``directory``."""
+    root = Path(directory)
+    found = {}
+    for kind, name in CONVENTIONAL.items():
+        path = root / name
+        if path.exists():
+            found[kind] = path
+    return found
+
+
+@dataclass
+class ProjectAudit:
+    """Everything one ``doctor`` pass looked at and concluded."""
+
+    report: DiagnosticReport
+    audited: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def to_json_dict(self) -> dict:
+        data = self.report.to_json_dict()
+        data["audited"] = list(self.audited)
+        return data
+
+    def summary(self) -> str:
+        what = ", ".join(self.audited) if self.audited else "nothing"
+        return f"doctor audited {what}: {self.report.summary()}"
+
+
+def audit_project(*, netlist=None, zones=None, worksheet=None,
+                  stimuli=None, store=None,
+                  report: DiagnosticReport | None = None
+                  ) -> ProjectAudit:
+    """Audit whichever artifacts are given; report ALL findings.
+
+    Per-file validation first, then every cross-check whose inputs
+    loaded: zone config and stimuli against the parsed netlist,
+    worksheet zone references against the zone config, the campaign
+    store against its own invariants (a read-only
+    :func:`~repro.store.fsck.fsck_store` pass).
+    """
+    collect = report if report is not None else DiagnosticReport()
+    audit = ProjectAudit(report=collect)
+
+    circuit = None
+    if netlist is not None:
+        from ..hdl.verilog import parse_verilog_file
+        circuit = parse_verilog_file(netlist, report=collect)
+        audit.audited.append(f"netlist {netlist}")
+
+    zone_config = None
+    if zones is not None:
+        from ..zones.io import load_zone_config
+        zone_config = load_zone_config(zones, report=collect)
+        audit.audited.append(f"zone config {zones}")
+
+    zone_set = None
+    if circuit is not None:
+        from ..zones.extractor import extract_zones
+        from ..zones.io import extraction_config_from_dict
+        config = None
+        if zone_config is not None:
+            # zone names depend on the extraction granularity the
+            # config was exported with — reproduce it
+            config = extraction_config_from_dict(
+                zone_config, str(zones), collect)
+        zone_set = extract_zones(circuit, config,
+                                 analyze_cones=False)
+
+    if zone_config is not None:
+        if zone_set is not None:
+            from ..zones.io import resolve_zone_config
+            resolve_zone_config(zone_config, zone_set, circuit,
+                                collect, source=str(zones))
+        else:
+            collect.info(
+                "E002", f"no netlist available — zone config "
+                        f"{zones} was shape-checked only",
+                hint="pass --netlist (or add netlist.v) to "
+                     "cross-check zones against the design")
+
+    if worksheet is not None:
+        from ..fmea.io import load_worksheet
+        sheet = load_worksheet(worksheet, report=collect)
+        audit.audited.append(f"worksheet {worksheet}")
+        if sheet is not None and zone_config is not None:
+            configured = {z["name"] for z in zone_config["zones"]}
+            seen = set()
+            for entry in sheet.entries:
+                if entry.zone not in configured \
+                        and entry.zone not in seen:
+                    seen.add(entry.zone)
+                    collect.error(
+                        "E310", f"worksheet row references zone "
+                                f"{entry.zone!r} which is not in "
+                                f"the zone config",
+                        file=str(worksheet),
+                        hint="re-export the zone config or rebuild "
+                             "the worksheet")
+
+    if stimuli is not None:
+        from ..faultinjection.environment import (
+            load_stimuli,
+            validate_stimuli_report,
+        )
+        cycles = load_stimuli(stimuli, report=collect)
+        audit.audited.append(f"stimuli {stimuli}")
+        if cycles is not None and circuit is not None:
+            validate_stimuli_report(circuit, cycles, collect,
+                                    source=str(stimuli))
+        elif cycles is not None and circuit is None:
+            collect.info(
+                "E002", f"no netlist available — stimuli {stimuli} "
+                        f"were shape-checked only",
+                hint="pass --netlist (or add netlist.v) to "
+                     "cross-check signals against the input ports")
+
+    if store is not None:
+        from ..store.cache import CampaignCache
+        from ..store.fsck import fsck_store
+        audit.audited.append(f"store {store}")
+        try:
+            cache = CampaignCache(store)
+        except Exception as err:
+            collect.error(
+                "E400", f"cannot open campaign store: {err}",
+                file=str(store))
+        else:
+            try:
+                fsck_store(cache, repair=False, report=collect)
+            finally:
+                cache.close()
+
+    if not audit.audited:
+        collect.error(
+            "E002", "nothing to audit — no artifact was given or "
+                    "discovered",
+            hint="run inside a project directory containing "
+                 "netlist.v / zones.json / worksheet.json / "
+                 "stimuli.json, or pass artifacts explicitly")
+    return audit

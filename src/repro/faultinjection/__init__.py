@@ -64,10 +64,14 @@ from .analyzer import (
 )
 from .diagnosis import Candidate, FaultDictionary, signature_of
 from .environment import (
+    STIMULI_SCHEMA_VERSION,
     InjectionEnvironment,
     StimuliValidationError,
     build_environment,
+    load_stimuli,
+    save_stimuli,
     validate_stimuli,
+    validate_stimuli_report,
 )
 from .faultsim import FaultSimReport, simulate_faults
 from .validation import (
@@ -116,8 +120,9 @@ __all__ = [
     "FaultAnomaly", "SupervisorConfig",
     "EffectComparison", "ResultAnalyzer", "ZoneMeasurement",
     "Candidate", "FaultDictionary", "signature_of",
-    "InjectionEnvironment", "StimuliValidationError",
-    "build_environment", "validate_stimuli",
+    "InjectionEnvironment", "STIMULI_SCHEMA_VERSION",
+    "StimuliValidationError", "build_environment", "load_stimuli",
+    "save_stimuli", "validate_stimuli", "validate_stimuli_report",
     "FaultSimReport", "simulate_faults",
     "StepResult", "ValidationConfig", "ValidationReport",
     "run_validation",

@@ -11,6 +11,9 @@ setup — and hands out configured profilers, fault lists and managers.
 
 from __future__ import annotations
 
+import json
+
+from ..diagnostics import DiagnosticError, DiagnosticReport
 from ..fmea.worksheet import FmeaWorksheet
 from ..hdl.netlist import Circuit
 from ..zones.extractor import ZoneSet
@@ -22,26 +25,29 @@ from .faultlist import (
 from .manager import CampaignConfig, FaultInjectionManager
 from .profiler import OperationalProfile, profile_workload
 
+STIMULI_SCHEMA_VERSION = 1
 
-class StimuliValidationError(ValueError):
+
+class StimuliValidationError(DiagnosticError, ValueError):
     """The workload's stimuli don't match the circuit's input ports."""
 
 
-def validate_stimuli(circuit: Circuit, stimuli) -> None:
-    """Check stimuli keys against the circuit's primary inputs.
+def validate_stimuli_report(circuit: Circuit, stimuli,
+                            report: DiagnosticReport,
+                            source: str | None = None) -> None:
+    """Cross-check stimuli keys against the circuit's primary inputs.
 
     Catches the two silent campaign-invalidating mistakes up front,
     before hours of fault simulation produce meaningless coverage:
 
-    * an **unknown** key (driven in some cycle but not an input port
-      of the circuit) would be ignored by the simulator — typically a
-      typo or a stale signal name after a netlist edit;
-    * a **missing** input (a port no cycle ever drives) silently
-      holds its reset value for the whole workload.
+    * ``E211``: an **unknown** key (driven in some cycle but not an
+      input port of the circuit) would be ignored by the simulator —
+      typically a typo or a stale signal name after a netlist edit;
+    * ``E212``: a **missing** input (a port no cycle ever drives)
+      silently holds its reset value for the whole workload.
 
-    Raises :class:`StimuliValidationError` naming the offending
-    signals and where they first occur; returns ``None`` when the
-    stimuli are consistent.  Empty stimuli are vacuously valid.
+    Appends one diagnostic per offending signal to ``report``.  Empty
+    stimuli are vacuously valid.
     """
     stimuli = list(stimuli)
     known = set(circuit.inputs)
@@ -53,26 +59,116 @@ def validate_stimuli(circuit: Circuit, stimuli) -> None:
                 driven.add(name)
             elif name not in unknown:
                 unknown[name] = cycle
-    problems = []
-    if unknown:
-        names = ", ".join(
-            f"{name!r} (first driven in cycle {cycle})"
-            for name, cycle in sorted(unknown.items()))
-        problems.append(
-            f"stimuli drive signal(s) that are not primary inputs "
-            f"of {circuit.name!r}: {names}")
+    known_names = ", ".join(repr(n) for n in sorted(known))
+    for name, cycle in sorted(unknown.items()):
+        report.error(
+            "E211",
+            f"stimuli drive signal {name!r} (first driven in cycle "
+            f"{cycle}) that is not a primary input of "
+            f"{circuit.name!r}",
+            file=source,
+            hint=f"known primary inputs: {known_names}")
     missing = known - driven
     if missing and driven:
-        names = ", ".join(repr(n) for n in sorted(missing))
-        problems.append(
-            f"primary input(s) of {circuit.name!r} never driven in "
-            f"any of the {len(stimuli)} stimuli cycle(s): "
-            f"{names} (they would hold their reset value for the "
-            f"whole workload)")
-    if problems:
-        known_names = ", ".join(repr(n) for n in sorted(known))
-        problems.append(f"known primary inputs: {known_names}")
-        raise StimuliValidationError("\n".join(problems))
+        for name in sorted(missing):
+            report.error(
+                "E212",
+                f"primary input {name!r} of {circuit.name!r} is "
+                f"never driven in any of the {len(stimuli)} stimuli "
+                f"cycle(s) (it would hold its reset value for the "
+                f"whole workload)",
+                file=source)
+
+
+def validate_stimuli(circuit: Circuit, stimuli) -> None:
+    """Raise :class:`StimuliValidationError` on inconsistent stimuli.
+
+    Thin fail-fast wrapper around :func:`validate_stimuli_report`;
+    returns ``None`` when the stimuli are consistent.
+    """
+    report = DiagnosticReport()
+    validate_stimuli_report(circuit, stimuli, report)
+    report.raise_if_errors(StimuliValidationError)
+
+
+def load_stimuli(path, *,
+                 report: DiagnosticReport | None = None
+                 ) -> list[dict] | None:
+    """Read a stimuli file (``{"schema": 1, "cycles": [{sig: val}]}``).
+
+    Structural defects are ``E210``/``E213`` diagnostics; with
+    ``report=None`` they raise :class:`StimuliValidationError`,
+    otherwise they are appended to the caller's report and ``None``
+    is returned.  Signal-name consistency against a circuit is a
+    separate step (:func:`validate_stimuli_report`).
+    """
+    collect = DiagnosticReport() if report is None else report
+    before = len(collect.errors)
+    data = None
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as err:
+        collect.error("E210", f"cannot read stimuli: {err}",
+                      file=str(path))
+    except json.JSONDecodeError as err:
+        collect.error(
+            "E210", f"stimuli file is not valid JSON: {err.msg}",
+            file=str(path), line=err.lineno, column=err.colno)
+    cycles = None
+    if data is not None:
+        cycles = _check_stimuli_shape(data, str(path), collect)
+    if report is None and len(collect.errors) > before:
+        raise StimuliValidationError(collect)
+    return cycles
+
+
+def _check_stimuli_shape(data, source: str,
+                         collect: DiagnosticReport
+                         ) -> list[dict] | None:
+    if not isinstance(data, dict):
+        collect.error(
+            "E210", f"stimuli root must be a JSON object, got "
+                    f"{type(data).__name__}", file=source)
+        return None
+    schema = data.get("schema")
+    if schema != STIMULI_SCHEMA_VERSION:
+        collect.error(
+            "E210", f"unsupported stimuli schema {schema!r} "
+                    f"(current: {STIMULI_SCHEMA_VERSION})",
+            file=source)
+        return None
+    cycles = data.get("cycles")
+    if not isinstance(cycles, list):
+        collect.error("E210", "field 'cycles' must be a list",
+                      file=source)
+        return None
+    clean: list[dict] = []
+    bad = False
+    for i, vector in enumerate(cycles):
+        if not isinstance(vector, dict):
+            collect.error(
+                "E213", f"cycles[{i}] must be an object mapping "
+                        f"signal names to values", file=source)
+            bad = True
+            continue
+        for name, value in vector.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                collect.error(
+                    "E213", f"cycles[{i}].{name} must be an integer "
+                            f"value, got {type(value).__name__} "
+                            f"({value!r})", file=source)
+                bad = True
+        if not bad:
+            clean.append(vector)
+    return None if bad else clean
+
+
+def save_stimuli(stimuli, path) -> None:
+    """Write stimuli cycles in the :func:`load_stimuli` format."""
+    with open(path, "w") as handle:
+        json.dump({"schema": STIMULI_SCHEMA_VERSION,
+                   "cycles": list(stimuli)}, handle)
 
 
 class InjectionEnvironment:

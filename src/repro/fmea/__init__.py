@@ -26,9 +26,11 @@ from .sensitivity import (
     stability_report,
 )
 from .io import (
+    WorksheetFormatError,
     dumps_worksheet,
     load_worksheet,
     loads_worksheet,
+    register_worksheet_migration,
     save_worksheet,
     worksheet_from_dict,
     worksheet_to_dict,
@@ -53,6 +55,7 @@ __all__ = [
     "stability_report",
     "criticality_report", "full_report", "summary_report",
     "validation_report",
-    "dumps_worksheet", "load_worksheet", "loads_worksheet",
+    "WorksheetFormatError", "dumps_worksheet", "load_worksheet",
+    "loads_worksheet", "register_worksheet_migration",
     "save_worksheet", "worksheet_from_dict", "worksheet_to_dict",
 ]

@@ -5,18 +5,47 @@ between the extraction tool, the analyst and the validation flow.  The
 JSON schema here captures every row field — including the measured
 values the result analyzer fills in — so a worksheet can be saved after
 a campaign and re-assessed later without re-running anything.
+
+Loading is *hardened*: every field is validated with an ``E3xx``
+diagnostic carrying a JSON field path (``entries[3].failure_mode.
+persistence``), all problems of a file are reported at once, unknown
+extra keys are tolerated for forward compatibility, and older schema
+versions are upgraded through the migration registry instead of
+hard-failing.  A malformed worksheet raises
+:class:`WorksheetFormatError` (still a :class:`ValueError` for legacy
+callers) carrying the full :class:`~repro.diagnostics.DiagnosticReport`.
 """
 
 from __future__ import annotations
 
 import json
+from typing import Callable
 
+from ..diagnostics import DiagnosticError, DiagnosticReport
 from ..zones.model import FailureMode, FaultPersistence, ZoneKind
 from .entry import DiagnosticClaim, FmeaEntry
 from .factors import FrequencyClass, SDFactors
 from .worksheet import FmeaWorksheet
 
 SCHEMA_VERSION = 1
+
+#: schema-migration hooks: ``{from_version: upgrade(dict) -> dict}``.
+#: An upgrade function returns a *new* dict whose ``schema`` key moved
+#: strictly toward :data:`SCHEMA_VERSION`; chains are followed until
+#: the current version is reached.  Register one with
+#: :func:`register_worksheet_migration` to keep old exports loadable.
+WORKSHEET_MIGRATIONS: dict[int, Callable[[dict], dict]] = {}
+
+
+class WorksheetFormatError(DiagnosticError, ValueError):
+    """A worksheet dict/file failed validation (all sites reported)."""
+
+
+def register_worksheet_migration(from_version: int,
+                                 upgrade: Callable[[dict], dict]
+                                 ) -> None:
+    """Register an upgrade hook for an older worksheet schema."""
+    WORKSHEET_MIGRATIONS[from_version] = upgrade
 
 
 def worksheet_to_dict(sheet: FmeaWorksheet) -> dict:
@@ -27,12 +56,49 @@ def worksheet_to_dict(sheet: FmeaWorksheet) -> dict:
     }
 
 
-def worksheet_from_dict(data: dict) -> FmeaWorksheet:
-    if data.get("schema") != SCHEMA_VERSION:
-        raise ValueError(
-            f"unsupported worksheet schema {data.get('schema')!r}")
-    sheet = FmeaWorksheet(name=data["name"])
-    sheet.extend(_entry_from_dict(e) for e in data["entries"])
+def worksheet_from_dict(data: dict, *,
+                        source: str | None = None,
+                        report: DiagnosticReport | None = None
+                        ) -> FmeaWorksheet | None:
+    """Validate and build a worksheet from its JSON dict form.
+
+    With ``report=None`` (the default) any error raises
+    :class:`WorksheetFormatError` listing *every* defect.  When a
+    caller passes its own report (the ``doctor`` audit), diagnostics
+    are appended there and the valid subset of entries is returned —
+    or ``None`` when the document is unusable.
+    """
+    collect = DiagnosticReport() if report is None else report
+    before = len(collect.errors)
+
+    sheet = _worksheet_from_dict(data, source, collect)
+    if report is None and len(collect.errors) > before:
+        raise WorksheetFormatError(collect)
+    return sheet
+
+
+def _worksheet_from_dict(data, source, collect) -> FmeaWorksheet | None:
+    reader = _Reader(collect, source)
+    if not isinstance(data, dict):
+        collect.error(
+            "E300", f"worksheet root must be a JSON object, got "
+                    f"{type(data).__name__}", file=source)
+        return None
+
+    data = _migrate(data, source, collect)
+    if data is None:
+        return None
+
+    name = reader.field(data, "name", str, path="name")
+    entries = reader.field(data, "entries", list, path="entries")
+    if name is None or entries is None:
+        return None
+    sheet = FmeaWorksheet(name=name)
+    for i, entry_data in enumerate(entries):
+        entry = _entry_from_dict(entry_data, reader,
+                                 path=f"entries[{i}]")
+        if entry is not None:
+            sheet.add(entry)
     return sheet
 
 
@@ -41,9 +107,28 @@ def save_worksheet(sheet: FmeaWorksheet, path) -> None:
         json.dump(worksheet_to_dict(sheet), handle, indent=1)
 
 
-def load_worksheet(path) -> FmeaWorksheet:
-    with open(path) as handle:
-        return worksheet_from_dict(json.load(handle))
+def load_worksheet(path, *,
+                   report: DiagnosticReport | None = None
+                   ) -> FmeaWorksheet | None:
+    """Load a worksheet file; IO/JSON failures become ``E300``."""
+    collect = DiagnosticReport() if report is None else report
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as err:
+        collect.error("E300", f"cannot read worksheet: {err}",
+                      file=str(path))
+        data = None
+    except json.JSONDecodeError as err:
+        collect.error(
+            "E300", f"worksheet is not valid JSON: {err.msg}",
+            file=str(path), line=err.lineno, column=err.colno)
+        data = None
+    if data is None:
+        if report is None:
+            raise WorksheetFormatError(collect)
+        return None
+    return worksheet_from_dict(data, source=str(path), report=report)
 
 
 def dumps_worksheet(sheet: FmeaWorksheet) -> str:
@@ -51,7 +136,109 @@ def dumps_worksheet(sheet: FmeaWorksheet) -> str:
 
 
 def loads_worksheet(text: str) -> FmeaWorksheet:
-    return worksheet_from_dict(json.loads(text))
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as err:
+        collect = DiagnosticReport()
+        collect.error("E300",
+                      f"worksheet is not valid JSON: {err.msg}",
+                      line=err.lineno, column=err.colno)
+        raise WorksheetFormatError(collect) from None
+    return worksheet_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# schema migration
+# ----------------------------------------------------------------------
+def _migrate(data: dict, source, collect) -> dict | None:
+    version = data.get("schema")
+    hops = 0
+    while version != SCHEMA_VERSION:
+        upgrade = WORKSHEET_MIGRATIONS.get(version) \
+            if isinstance(version, int) else None
+        if upgrade is None or hops > 16:
+            collect.error(
+                "E301",
+                f"unsupported worksheet schema {version!r} (current: "
+                f"{SCHEMA_VERSION}, migratable: "
+                f"{sorted(WORKSHEET_MIGRATIONS) or 'none'})",
+                file=source, hint=None)
+            return None
+        data = upgrade(dict(data))
+        new_version = data.get("schema")
+        if new_version == version:
+            collect.error(
+                "E301",
+                f"worksheet migration from schema {version!r} did not "
+                f"advance the version", file=source)
+            return None
+        collect.info(
+            "E301",
+            f"worksheet migrated from schema {version!r} to "
+            f"{new_version!r}", file=source)
+        version = new_version
+        hops += 1
+    return data
+
+
+# ----------------------------------------------------------------------
+# field-path validation helpers
+# ----------------------------------------------------------------------
+class _Reader:
+    """Field extraction that reports, rather than raises, on defects."""
+
+    def __init__(self, report: DiagnosticReport, source: str | None):
+        self.report = report
+        self.source = source
+
+    def field(self, data: dict, key: str, types, *, path: str,
+              required: bool = True, default=None, enum=None,
+              nullable: bool = False):
+        """Fetch ``data[key]`` with type/enum checking.
+
+        Returns the (converted) value, or ``None`` after reporting a
+        coded diagnostic.  Unknown extra keys in ``data`` are by
+        design never reported — forward compatibility.
+        """
+        if not isinstance(data, dict):
+            self.report.error(
+                "E303", f"{path.rsplit('.', 1)[0] or path} must be an "
+                        f"object, got {type(data).__name__}",
+                file=self.source)
+            return None
+        if key not in data:
+            if not required:
+                return default
+            self.report.error("E302", f"missing field {path!r}",
+                              file=self.source)
+            return None
+        value = data[key]
+        if value is None and nullable:
+            return None
+        allowed = types if isinstance(types, tuple) else (types,)
+        bad_bool = isinstance(value, bool) and bool not in allowed
+        if not isinstance(value, types) or bad_bool:
+            want = "/".join(t.__name__ for t in allowed)
+            self.report.error(
+                "E303", f"field {path!r} must be {want}, got "
+                        f"{type(value).__name__} ({value!r})",
+                file=self.source)
+            return None
+        if enum is not None:
+            try:
+                return enum(value)
+            except ValueError:
+                allowed = ", ".join(repr(m.value) for m in enum)
+                self.report.error(
+                    "E304", f"field {path!r} value {value!r} is not "
+                            f"one of: {allowed}", file=self.source)
+                return None
+        return value
+
+    def optional_number(self, data: dict, key: str, *, path: str):
+        if not isinstance(data, dict) or data.get(key) is None:
+            return None
+        return self.field(data, key, (int, float), path=path)
 
 
 # ----------------------------------------------------------------------
@@ -85,26 +272,111 @@ def _entry_to_dict(entry: FmeaEntry) -> dict:
     }
 
 
-def _entry_from_dict(data: dict) -> FmeaEntry:
-    fm = data["failure_mode"]
+def _entry_from_dict(data, reader: _Reader,
+                     path: str) -> FmeaEntry | None:
+    if not isinstance(data, dict):
+        reader.report.error(
+            "E303", f"{path} must be an object, got "
+                    f"{type(data).__name__}", file=reader.source)
+        return None
+    before = len(reader.report.errors)
+
+    zone = reader.field(data, "zone", str, path=f"{path}.zone")
+    kind = reader.field(data, "kind", str, path=f"{path}.kind",
+                        enum=ZoneKind)
+
+    fm_data = reader.field(data, "failure_mode", dict,
+                           path=f"{path}.failure_mode")
+    failure_mode = None
+    if fm_data is not None:
+        fmp = f"{path}.failure_mode"
+        fm_name = reader.field(fm_data, "name", str,
+                               path=f"{fmp}.name")
+        persistence = reader.field(fm_data, "persistence", str,
+                                   path=f"{fmp}.persistence",
+                                   enum=FaultPersistence)
+        if fm_name is not None and persistence is not None:
+            failure_mode = FailureMode(
+                name=fm_name,
+                description=reader.field(
+                    fm_data, "description", str,
+                    path=f"{fmp}.description", required=False,
+                    default=""),
+                persistence=persistence,
+                iec_reference=reader.field(
+                    fm_data, "iec_reference", str,
+                    path=f"{fmp}.iec_reference", required=False,
+                    default=""))
+
+    raw_fit = reader.field(data, "raw_fit", (int, float),
+                           path=f"{path}.raw_fit")
+    factors = None
+    f_data = reader.field(data, "factors", dict,
+                          path=f"{path}.factors")
+    if f_data is not None:
+        fp = f"{path}.factors"
+        arch = reader.field(f_data, "architectural", (int, float),
+                            path=f"{fp}.architectural")
+        app = reader.field(f_data, "applicational", (int, float),
+                           path=f"{fp}.applicational")
+        use = reader.field(f_data, "use_applicational", bool,
+                           path=f"{fp}.use_applicational",
+                           required=False, default=True)
+        if arch is not None and app is not None and use is not None:
+            factors = SDFactors(architectural=arch, applicational=app,
+                                use_applicational=use)
+
+    frequency = reader.field(data, "frequency", str,
+                             path=f"{path}.frequency",
+                             enum=FrequencyClass)
+    lifetime = reader.field(data, "lifetime_cycles", (int, float),
+                            path=f"{path}.lifetime_cycles")
+
+    claims = []
+    claims_data = reader.field(data, "claims", list,
+                               path=f"{path}.claims",
+                               required=False, default=[])
+    for j, claim in enumerate(claims_data or []):
+        cp = f"{path}.claims[{j}]"
+        if not isinstance(claim, dict):
+            reader.report.error(
+                "E305", f"{cp} must be an object, got "
+                        f"{type(claim).__name__}", file=reader.source)
+            continue
+        technique = reader.field(claim, "technique", str,
+                                 path=f"{cp}.technique")
+        ddf = reader.field(claim, "ddf", (int, float),
+                           path=f"{cp}.ddf")
+        software = reader.field(claim, "software", bool,
+                                path=f"{cp}.software",
+                                required=False, default=None,
+                                nullable=True)
+        if technique is None or ddf is None:
+            reader.report.error(
+                "E305", f"claim {cp} is unusable and was dropped",
+                file=reader.source)
+            continue
+        claims.append(DiagnosticClaim(technique, ddf, software))
+
+    if len(reader.report.errors) > before or None in (
+            zone, kind, failure_mode, raw_fit, factors, frequency,
+            lifetime):
+        return None
     return FmeaEntry(
-        zone=data["zone"],
-        zone_kind=ZoneKind(data["kind"]),
-        failure_mode=FailureMode(
-            name=fm["name"], description=fm["description"],
-            persistence=FaultPersistence(fm["persistence"]),
-            iec_reference=fm["iec_reference"]),
-        raw_fit=data["raw_fit"],
-        factors=SDFactors(
-            architectural=data["factors"]["architectural"],
-            applicational=data["factors"]["applicational"],
-            use_applicational=data["factors"]["use_applicational"]),
-        frequency=FrequencyClass(data["frequency"]),
-        frequency_architectural=data.get("frequency_architectural",
-                                         False),
-        lifetime_cycles=data["lifetime_cycles"],
-        claims=[DiagnosticClaim(c["technique"], c["ddf"], c["software"])
-                for c in data["claims"]],
-        measured_ddf=data["measured_ddf"],
-        measured_safe_fraction=data["measured_safe_fraction"],
-        notes=data["notes"])
+        zone=zone,
+        zone_kind=kind,
+        failure_mode=failure_mode,
+        raw_fit=raw_fit,
+        factors=factors,
+        frequency=frequency,
+        frequency_architectural=bool(
+            data.get("frequency_architectural", False)),
+        lifetime_cycles=lifetime,
+        claims=claims,
+        measured_ddf=reader.optional_number(
+            data, "measured_ddf", path=f"{path}.measured_ddf"),
+        measured_safe_fraction=reader.optional_number(
+            data, "measured_safe_fraction",
+            path=f"{path}.measured_safe_fraction"),
+        notes=reader.field(data, "notes", str, path=f"{path}.notes",
+                           required=False, default=""))

@@ -29,7 +29,13 @@ from .simulator import (
     Simulator,
 )
 from .coverage import ToggleReport, measure_toggle_coverage
-from .verilog import parse_verilog, roundtrip, write_verilog
+from .verilog import (
+    VerilogParseError,
+    parse_verilog,
+    parse_verilog_file,
+    roundtrip,
+    write_verilog,
+)
 from .vcd import VcdTracer, trace_workload
 from .xprop import ResetReport, XSimulator, reset_coverage
 from . import library
@@ -40,7 +46,8 @@ __all__ = [
     "BRIDGE_AND", "BRIDGE_DOMINANT", "BRIDGE_OR",
     "CycleBudgetExceeded",
     "ToggleReport", "measure_toggle_coverage",
-    "parse_verilog", "roundtrip", "write_verilog",
+    "VerilogParseError", "parse_verilog", "parse_verilog_file",
+    "roundtrip", "write_verilog",
     "VcdTracer", "trace_workload",
     "ResetReport", "XSimulator", "reset_coverage",
     "OP_AND", "OP_BUF", "OP_CONST0", "OP_CONST1", "OP_MUX", "OP_NAMES",

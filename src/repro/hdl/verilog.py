@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import re
 
+from ..diagnostics import DiagnosticError, DiagnosticReport
 from .netlist import (
     Circuit,
     Flop,
@@ -21,6 +22,16 @@ from .netlist import (
     OP_BY_NAME,
     OP_NAMES,
 )
+
+
+class VerilogParseError(DiagnosticError, NetlistError):
+    """A netlist failed to parse; carries every coded parse site.
+
+    Subclasses :class:`NetlistError` so legacy callers that catch the
+    old single-site failure keep working, while the attached
+    :class:`~repro.diagnostics.DiagnosticReport` lists *all* problems
+    with ``file:line`` locations.
+    """
 
 _PRIMS = {"buf": "BUF", "not": "INV", "and": "AND2", "or": "OR2",
           "xor": "XOR2", "nand": "NAND2", "nor": "NOR2", "xnor": "XNOR2",
@@ -97,13 +108,40 @@ _MEM_RE = re.compile(
 _MEMPINS_RE = re.compile(r"^\s*//\s*MEM\.(addr|wdata|rdata)\s+(.*)$")
 
 
-def parse_verilog(text: str) -> Circuit:
-    """Parse the structural subset produced by :func:`write_verilog`."""
+def _pin_nets(pins: list[str]) -> list[int] | None:
+    """Decode ``n<id>`` pin tokens; ``None`` when any token is not one."""
+    nets = []
+    for pin in pins:
+        if not pin.startswith("n") or not pin[1:].isdigit():
+            return None
+        nets.append(int(pin[1:]))
+    return nets
+
+
+def parse_verilog(text: str, *, source: str | None = None,
+                  report: DiagnosticReport | None = None
+                  ) -> Circuit | None:
+    """Parse the structural subset produced by :func:`write_verilog`.
+
+    Parse problems are collected as coded ``E1xx`` diagnostics with
+    ``file:line`` locations and the parser *recovers* — a bad instance
+    is skipped and parsing continues, so one run reports every bad
+    site (all the ``bad arity`` instances at once, not just the
+    first).
+
+    With ``report=None`` (the default) an error-bearing parse raises
+    :class:`VerilogParseError`.  When a caller passes its own
+    :class:`~repro.diagnostics.DiagnosticReport` (the ``doctor``
+    audit), diagnostics are appended there and the best-effort circuit
+    — or ``None`` when no module was found — is returned instead.
+    """
+    collect = DiagnosticReport() if report is None else report
     circuit: Circuit | None = None
     names: dict[int, str] = {}
     port_widths: dict[str, tuple[str, int]] = {}
     assigns: list[tuple[str, str]] = []
     pending_mem: dict | None = None
+    pending_mem_line = 0
 
     lines = text.splitlines()
     max_net = -1
@@ -114,7 +152,7 @@ def parse_verilog(text: str) -> Circuit:
             names[net] = m.group(2).strip()
             max_net = max(max_net, net)
 
-    for line in lines:
+    for lineno, line in enumerate(lines, start=1):
         stripped = line.strip()
         if stripped.startswith("module"):
             modname = stripped.split()[1].split("(")[0]
@@ -136,13 +174,28 @@ def parse_verilog(text: str) -> Circuit:
             continue
         m = _MEM_RE.match(line)
         if m:
+            if pending_mem is not None:
+                collect.error(
+                    "E111",
+                    f"memory block {pending_mem['name']!r} is missing "
+                    f"addr/wdata/rdata pin comments",
+                    file=source, line=pending_mem_line)
             pending_mem = {"name": m.group(1), "depth": int(m.group(2)),
                            "width": int(m.group(3)), "we": int(m.group(4))}
+            pending_mem_line = lineno
             continue
         m = _MEMPINS_RE.match(line)
         if m and pending_mem is not None:
-            nets = tuple(int(tok[1:]) for tok in m.group(2).split())
-            pending_mem[m.group(1)] = nets
+            nets = _pin_nets(m.group(2).split())
+            if nets is None:
+                collect.error(
+                    "E103",
+                    f"memory pin list {m.group(2)!r} contains a token "
+                    f"that is not an `n<id>` wire",
+                    file=source, line=lineno)
+                pending_mem = None
+                continue
+            pending_mem[m.group(1)] = tuple(nets)
             if all(k in pending_mem for k in ("addr", "wdata", "rdata")):
                 name = pending_mem["name"]
                 path = name.rsplit("/", 1)[0] if "/" in name else ""
@@ -162,15 +215,44 @@ def parse_verilog(text: str) -> Circuit:
             pins = [p.strip() for p in pins_txt.split(",") if p.strip()]
             if cell in _PRIMS_REV:
                 op = OP_BY_NAME[_PRIMS_REV[cell]]
-                nets = [int(p[1:]) for p in pins]
+                nets = _pin_nets(pins)
+                if nets is None:
+                    collect.error(
+                        "E103",
+                        f"{cell} instance pin list {pins_txt.strip()!r}"
+                        f" contains a token that is not an `n<id>` "
+                        f"wire", file=source, line=lineno)
+                    continue
                 if len(nets) - 1 != OP_ARITY[op]:
-                    raise NetlistError(f"bad arity: {line!r}")
+                    collect.error(
+                        "E102",
+                        f"bad arity: {cell} expects "
+                        f"{OP_ARITY[op] + 1} pins, got {len(nets)} "
+                        f"in {stripped!r}",
+                        file=source, line=lineno)
+                    continue
+                if any(n > max_net or n < 0 for n in nets):
+                    collect.error(
+                        "E105",
+                        f"{cell} instance references undeclared "
+                        f"wire(s) "
+                        f"{[f'n{n}' for n in nets if n > max_net]}",
+                        file=source, line=lineno)
+                    continue
                 path = ""
                 if comment and comment.startswith("path:"):
                     path = comment[len("path:"):].strip()
                 circuit.add_gate(op, nets[1:], nets[0], path)
             elif cell.startswith("DFF"):
-                rest = [int(p[1:]) for p in pins[1:]]  # skip clk
+                rest = _pin_nets(pins[1:])  # skip clk
+                want = 2 + ("E" in cell[3:]) + ("R" in cell[3:])
+                if rest is None or len(rest) < want:
+                    collect.error(
+                        "E104",
+                        f"malformed {cell} instance {stripped!r}: "
+                        f"expected clk plus {want} `n<id>` pins",
+                        file=source, line=lineno)
+                    continue
                 q, d = rest[0], rest[1]
                 extra = rest[2:]
                 en = extra.pop(0) if "E" in cell[3:] else None
@@ -180,20 +262,45 @@ def parse_verilog(text: str) -> Circuit:
                 circuit.flops.append(Flop(
                     name=fname, d=d, q=q, path=fpath, en=en, rst=rst,
                     init=int(init or 0)))
+            elif cell not in ("module", "input", "output", "wire",
+                              "assign", "endmodule"):
+                collect.warn(
+                    "E110",
+                    f"unknown cell type {cell!r} ignored",
+                    file=source, line=lineno)
 
     if circuit is None:
-        raise NetlistError("no module found")
-
-    for lhs, rhs in assigns:
-        if lhs.startswith("n") and lhs[1:].isdigit():
-            port, bit = _split_index(rhs)
-            _set_port_bit(circuit.inputs, port, bit, int(lhs[1:]),
-                          port_widths)
-        elif rhs.startswith("n") and rhs[1:].isdigit():
-            port, bit = _split_index(lhs)
-            _set_port_bit(circuit.outputs, port, bit, int(rhs[1:]),
-                          port_widths)
+        collect.error("E101", "no module found", file=source)
+    else:
+        for lhs, rhs in assigns:
+            if lhs.startswith("n") and lhs[1:].isdigit():
+                port, bit = _split_index(rhs)
+                _set_port_bit(circuit.inputs, port, bit, int(lhs[1:]),
+                              port_widths)
+            elif rhs.startswith("n") and rhs[1:].isdigit():
+                port, bit = _split_index(lhs)
+                _set_port_bit(circuit.outputs, port, bit, int(rhs[1:]),
+                              port_widths)
+    if report is None and not collect.ok:
+        raise VerilogParseError(collect)
     return circuit
+
+
+def parse_verilog_file(path, *,
+                       report: DiagnosticReport | None = None
+                       ) -> Circuit | None:
+    """Parse a netlist file; IO failures become ``E100`` diagnostics."""
+    collect = DiagnosticReport() if report is None else report
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as err:
+        collect.error("E100", f"cannot read netlist: {err}",
+                      file=str(path))
+        if report is None:
+            raise VerilogParseError(collect) from None
+        return None
+    return parse_verilog(text, source=str(path), report=report)
 
 
 def _split_index(token: str) -> tuple[str, int]:

@@ -3,13 +3,17 @@
 from .tables import pct, render_kv, render_table
 from .dossier import build_dossier
 from .health import (
+    DegradedBounds,
     QuarantineBounds,
+    degraded_bounds,
     quarantine_bounds,
     render_campaign_health,
+    render_degraded_health,
 )
 from .rundiff import render_run_diff
 
 __all__ = ["pct", "render_kv", "render_table", "build_dossier",
-           "QuarantineBounds", "quarantine_bounds",
-           "render_campaign_health",
+           "DegradedBounds", "QuarantineBounds", "degraded_bounds",
+           "quarantine_bounds", "render_campaign_health",
+           "render_degraded_health",
            "render_run_diff"]

@@ -75,6 +75,83 @@ def quarantine_bounds(result, quarantined: int) -> QuarantineBounds:
         safe_worst=safe_worst)
 
 
+@dataclass
+class DegradedBounds:
+    """Metric bounds of a ``--degraded`` campaign that skipped zones.
+
+    A zone that no longer resolves against the netlist contributes no
+    candidate faults, so the campaign's measured DC/SFF silently
+    overstate what the evidence supports.  Degraded mode makes the
+    loss explicit: the faults the skipped zones *would* have
+    contributed are treated exactly like quarantined faults (missing
+    evidence) and pushed through :func:`quarantine_bounds`.
+    """
+
+    bounds: QuarantineBounds
+    skipped_zones: tuple[str, ...]
+    faults_lost: int
+    estimated: bool     # faults_lost was inferred, not counted
+
+    @property
+    def clean(self) -> bool:
+        return not self.skipped_zones
+
+
+def degraded_bounds(result, skipped_zones,
+                    faults_lost: int | None = None) -> DegradedBounds:
+    """Bound DC / safe fraction for a campaign that skipped zones.
+
+    ``faults_lost`` is the number of candidate faults the skipped
+    zones would have contributed; when unknown it is estimated from
+    the campaign's own density (average measured faults per resolved
+    zone, falling back to the fault-list default of 4 per zone).
+    """
+    skipped = tuple(skipped_zones)
+    estimated = faults_lost is None
+    if faults_lost is None:
+        zone_results = result.by_zone()
+        if zone_results:
+            per_zone = max(1, round(len(result.results)
+                                    / len(zone_results)))
+        else:
+            per_zone = 4
+        faults_lost = per_zone * len(skipped)
+    return DegradedBounds(
+        bounds=quarantine_bounds(result, faults_lost),
+        skipped_zones=skipped, faults_lost=faults_lost,
+        estimated=estimated)
+
+
+def render_degraded_health(degraded: DegradedBounds) -> str:
+    """Render the lost-evidence section of a degraded campaign."""
+    if degraded.clean:
+        return ("degraded mode: no zones were skipped — results "
+                "match a strict run")
+    bounds = degraded.bounds
+    source = ("estimated from campaign density" if degraded.estimated
+              else "counted from the fault list")
+    pairs = [
+        ("zones skipped", len(degraded.skipped_zones)),
+        ("faults lost", f"{degraded.faults_lost} ({source})"),
+        ("faults with evidence", bounds.measured),
+        ("DC (measured / worst-case)",
+         f"{pct(bounds.dc_measured)} / {pct(bounds.dc_worst)}"),
+        ("safe fraction (best / worst)",
+         f"{pct(bounds.safe_best)} / {pct(bounds.safe_worst)}"),
+    ]
+    parts = [render_kv(pairs, title="Metric bounds under degraded "
+                                    "evidence")]
+    names = ", ".join(degraded.skipped_zones[:8])
+    if len(degraded.skipped_zones) > 8:
+        names += f", … ({len(degraded.skipped_zones) - 8} more)"
+    parts.append(
+        f"skipped zones (no evidence collected): {names}\n"
+        f"claims about these zones are NOT supported by this "
+        f"campaign; re-extract zones or fix the configuration to "
+        f"restore full coverage")
+    return "\n\n".join(parts)
+
+
 def render_campaign_health(result, anomalies, health=None) -> str:
     """Render the quarantine section of a campaign report.
 

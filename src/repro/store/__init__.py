@@ -26,6 +26,7 @@ from .fingerprint import (
     SupportIndex,
     fault_descriptor,
 )
+from .fsck import FsckResult, fsck_store
 from .query import (
     GcResult,
     RunDiff,
@@ -42,6 +43,7 @@ __all__ = [
     "AnomalyRow", "OutcomeRow", "StoreDB",
     "FP_VERSION", "FingerprintContext", "SupportIndex",
     "fault_descriptor",
+    "FsckResult", "fsck_store",
     "GcResult", "RunDiff", "StoreStats", "ZoneChange",
     "diff_runs", "gc_store", "store_stats",
 ]

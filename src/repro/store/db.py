@@ -389,6 +389,110 @@ class StoreDB:
             "SELECT digest FROM golden").fetchall()}
 
     # ------------------------------------------------------------------
+    # fsck helpers (integrity checks over the raw tables)
+    # ------------------------------------------------------------------
+    def iter_outcome_effects(self):
+        """Yield ``(fault_fp, fault_name, effects_json)`` raw rows.
+
+        Unlike :meth:`get_outcomes` this does *not* parse or skip —
+        ``store fsck`` wants to see the corruption, not step around
+        it."""
+        cursor = self._conn.execute(
+            "SELECT fault_fp, fault_name, effects FROM outcomes")
+        while True:
+            rows = cursor.fetchmany(500)
+            if not rows:
+                return
+            yield from rows
+
+    def delete_outcomes(self, fps: list[str]) -> int:
+        """Drop outcome rows (they become cache misses and are
+        re-simulated on the next campaign)."""
+        removed = 0
+        fps = list(fps)
+        with self._conn:
+            for lo in range(0, len(fps), 500):
+                chunk = fps[lo:lo + 500]
+                marks = ",".join("?" * len(chunk))
+                removed += self._conn.execute(
+                    f"DELETE FROM outcomes WHERE fault_fp IN"
+                    f" ({marks})", chunk).rowcount
+        return removed
+
+    def golden_rows(self) -> list[tuple[str, str]]:
+        """All ``(key, digest)`` pairs of the golden-trace map."""
+        return self._conn.execute(
+            "SELECT key, digest FROM golden").fetchall()
+
+    def delete_golden_keys(self, keys: list[str]) -> int:
+        removed = 0
+        with self._conn:
+            for key in keys:
+                removed += self._conn.execute(
+                    "DELETE FROM golden WHERE key=?", (key,)).rowcount
+        return removed
+
+    def runs_with_golden(self) -> list[tuple[int, str]]:
+        """All ``(run_id, golden_blob)`` pairs that reference a blob."""
+        return self._conn.execute(
+            "SELECT run_id, golden_blob FROM runs"
+            " WHERE golden_blob IS NOT NULL").fetchall()
+
+    def clear_run_golden(self, run_ids: list[int]) -> int:
+        cleared = 0
+        with self._conn:
+            for run_id in run_ids:
+                cleared += self._conn.execute(
+                    "UPDATE runs SET golden_blob=NULL WHERE run_id=?",
+                    (run_id,)).rowcount
+        return cleared
+
+    def dangling_membership(self) -> dict[str, list[int]]:
+        """Run ids referenced by child tables but absent from
+        ``runs`` — the droppings of a partially GCed or torn store."""
+        out: dict[str, list[int]] = {}
+        for table in ("run_faults", "shard_attempts"):
+            rows = self._conn.execute(
+                f"SELECT DISTINCT run_id FROM {table}"
+                f" WHERE run_id NOT IN (SELECT run_id FROM runs)"
+                f" ORDER BY run_id").fetchall()
+            if rows:
+                out[table] = [r[0] for r in rows]
+        return out
+
+    def delete_dangling_membership(self) -> int:
+        with self._conn:
+            removed = self._conn.execute(
+                "DELETE FROM run_faults WHERE run_id NOT IN"
+                " (SELECT run_id FROM runs)").rowcount
+            removed += self._conn.execute(
+                "DELETE FROM shard_attempts WHERE run_id NOT IN"
+                " (SELECT run_id FROM runs)").rowcount
+        return removed
+
+    def dangling_anomalies(self) -> list[tuple[str, str, int]]:
+        """Anomaly rows whose ``run_id`` names a vanished run."""
+        return self._conn.execute(
+            "SELECT fault_fp, fault_name, run_id FROM anomalies"
+            " WHERE run_id IS NOT NULL AND run_id NOT IN"
+            " (SELECT run_id FROM runs) ORDER BY fault_name"
+        ).fetchall()
+
+    def delete_anomalies(self, fps: list[str]) -> int:
+        removed = 0
+        with self._conn:
+            for fp in fps:
+                removed += self._conn.execute(
+                    "DELETE FROM anomalies WHERE fault_fp=?",
+                    (fp,)).rowcount
+        return removed
+
+    def integrity_check(self) -> str:
+        """SQLite's own b-tree check; ``'ok'`` when healthy."""
+        return self._conn.execute(
+            "PRAGMA integrity_check").fetchone()[0]
+
+    # ------------------------------------------------------------------
     # garbage collection
     # ------------------------------------------------------------------
     def gc(self, keep_runs: int) -> tuple[int, int]:

@@ -14,8 +14,19 @@ from .cones import Cone, ConeAnalyzer, CorrelationReport, correlate_zones
 from .extractor import (
     ExtractionConfig,
     ZoneExtractor,
+    ZoneLookupError,
     ZoneSet,
     extract_zones,
+)
+from .io import (
+    ZONES_SCHEMA_VERSION,
+    ZoneConfigError,
+    ZoneResolution,
+    extraction_config_from_dict,
+    load_zone_config,
+    resolve_zone_config,
+    save_zones,
+    zone_config_to_dict,
 )
 from .classify import FaultClassifier, FaultExtent
 from .graph import (
@@ -36,7 +47,11 @@ __all__ = [
     "Effect", "FailureMode", "FaultClass", "FaultPersistence",
     "ObservationKind", "ObservationPoint", "SensibleZone", "ZoneKind",
     "Cone", "ConeAnalyzer", "CorrelationReport", "correlate_zones",
-    "ExtractionConfig", "ZoneExtractor", "ZoneSet", "extract_zones",
+    "ExtractionConfig", "ZoneExtractor", "ZoneLookupError", "ZoneSet",
+    "extract_zones",
+    "ZONES_SCHEMA_VERSION", "ZoneConfigError", "ZoneResolution",
+    "extraction_config_from_dict", "load_zone_config",
+    "resolve_zone_config", "save_zones", "zone_config_to_dict",
     "FaultClassifier", "FaultExtent",
     "EffectPredictor", "PredictedEffects", "predict_effects_table",
     "build_zone_graph", "checker_placement_candidates",

@@ -14,8 +14,10 @@ those matching the configured alarm patterns classified as diagnostic
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
 
+from ..diagnostics import DiagnosticError, DiagnosticReport
 from ..hdl.netlist import Circuit, OP_BUF, OP_CONST0, OP_CONST1
 from .cones import Cone, ConeAnalyzer, CorrelationReport, correlate_zones
 from .model import (
@@ -52,6 +54,29 @@ class ExtractionConfig:
     status_patterns: tuple[str, ...] = ("scrub_", "bist_done", "_busy")
 
 
+class ZoneLookupError(DiagnosticError, KeyError):
+    """A zone name resolved to nothing — with did-you-mean hints.
+
+    Still a :class:`KeyError` for legacy callers; the attached ``E200``
+    diagnostic names the closest extracted zone names so a typo or a
+    stale configuration after a netlist edit is a one-glance fix.
+    """
+
+    def __init__(self, name: str, candidates=()):
+        self.name = name
+        self.suggestions = difflib.get_close_matches(
+            name, list(candidates), n=3, cutoff=0.5)
+        message = f"unknown zone {name!r}"
+        hint = None
+        if self.suggestions:
+            options = ", ".join(repr(s) for s in self.suggestions)
+            message += f" — did you mean {options}?"
+            hint = (f"the closest extracted zone name(s): {options}")
+        report = DiagnosticReport()
+        report.error("E200", message, hint=hint)
+        DiagnosticError.__init__(self, report)
+
+
 @dataclass
 class ZoneSet:
     """Result of an extraction run."""
@@ -61,6 +86,10 @@ class ZoneSet:
     observation_points: list[ObservationPoint]
     correlation: CorrelationReport | None = None
     cones: dict[str, Cone] = field(default_factory=dict)
+    #: the granularity knobs this set was extracted with — persisted
+    #: in the zone-config file so a later re-extraction (``doctor``)
+    #: reproduces the same zone names
+    config: ExtractionConfig | None = None
 
     def __len__(self) -> int:
         return len(self.zones)
@@ -69,7 +98,7 @@ class ZoneSet:
         for zone in self.zones:
             if zone.name == name:
                 return zone
-        raise KeyError(name)
+        raise ZoneLookupError(name, (z.name for z in self.zones))
 
     def of_kind(self, kind: ZoneKind) -> list[SensibleZone]:
         return [z for z in self.zones if z.kind is kind]
@@ -109,7 +138,8 @@ class ZoneExtractor:
             zones.extend(self._subblock_zones())
 
         points = self.observation_points()
-        zone_set = ZoneSet(self.circuit, zones, points)
+        zone_set = ZoneSet(self.circuit, zones, points,
+                           config=self.config)
 
         if analyze_cones:
             analyzer = ConeAnalyzer(self.circuit)

@@ -1,0 +1,265 @@
+"""Zone-configuration persistence and netlist cross-checking.
+
+The paper's flow passes the zone/stimuli configuration between the
+extraction tool, the analyst and the validation flow.  This module
+gives the zone side a durable form: ``soc-fmea export`` writes the
+extracted :class:`~repro.zones.extractor.ZoneSet` as JSON naming every
+zone with its *net names* (not indices — names survive re-synthesis),
+and a campaign or the ``doctor`` audit later *resolves* that
+configuration against a (possibly edited) netlist.
+
+Resolution is diagnostic, not fail-fast: every zone that no longer
+resolves — unknown name (with did-you-mean candidates), vanished net,
+changed kind — is reported with an ``E2xx`` code, and the caller
+decides between ``--strict`` (abort, exit 2) and ``--degraded`` (run
+the resolvable zones, bound the metrics for the lost evidence via
+:mod:`repro.reporting.health`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+
+from ..diagnostics import DiagnosticError, DiagnosticReport
+from ..hdl.netlist import Circuit
+from .extractor import ZoneLookupError, ZoneSet
+from .model import ZoneKind
+
+ZONES_SCHEMA_VERSION = 1
+
+
+class ZoneConfigError(DiagnosticError, ValueError):
+    """A zone configuration failed to load or resolve."""
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+def zone_config_to_dict(zone_set: ZoneSet) -> dict:
+    """Serialize a zone set as a portable configuration document."""
+    circuit = zone_set.circuit
+    zones = []
+    for zone in zone_set.zones:
+        zones.append({
+            "name": zone.name,
+            "kind": zone.kind.value,
+            "nets": [circuit.net_names[n] for n in zone.nets],
+            "size_bits": zone.size_bits,
+        })
+    data = {
+        "schema": ZONES_SCHEMA_VERSION,
+        "design": circuit.name,
+        "zones": zones,
+        "observe": [{"name": p.name, "kind": p.kind.value}
+                    for p in zone_set.observation_points],
+    }
+    if zone_set.config is not None:
+        # zone names depend on the granularity knobs, so a consumer
+        # re-extracting (doctor) must use the same ones
+        data["extraction"] = dataclasses.asdict(zone_set.config)
+    return data
+
+
+def save_zones(zone_set: ZoneSet, path) -> None:
+    with open(path, "w") as handle:
+        json.dump(zone_config_to_dict(zone_set), handle, indent=1)
+
+
+# ----------------------------------------------------------------------
+# loading
+# ----------------------------------------------------------------------
+def load_zone_config(path, *,
+                     report: DiagnosticReport | None = None
+                     ) -> dict | None:
+    """Read and shape-check a zone configuration file.
+
+    Structural defects are ``E201``/``E202`` diagnostics; with
+    ``report=None`` they raise :class:`ZoneConfigError`, otherwise
+    they are appended to the caller's report and ``None`` (or the
+    cleaned document) is returned.
+    """
+    collect = DiagnosticReport() if report is None else report
+    before = len(collect.errors)
+    data = None
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as err:
+        collect.error("E201", f"cannot read zone config: {err}",
+                      file=str(path))
+    except json.JSONDecodeError as err:
+        collect.error(
+            "E201", f"zone config is not valid JSON: {err.msg}",
+            file=str(path), line=err.lineno, column=err.colno)
+    if data is not None:
+        data = _check_shape(data, str(path), collect)
+    if report is None and len(collect.errors) > before:
+        raise ZoneConfigError(collect)
+    return data
+
+
+def _check_shape(data, source: str,
+                 collect: DiagnosticReport) -> dict | None:
+    if not isinstance(data, dict):
+        collect.error(
+            "E201", f"zone config root must be a JSON object, got "
+                    f"{type(data).__name__}", file=source)
+        return None
+    schema = data.get("schema")
+    if schema != ZONES_SCHEMA_VERSION:
+        collect.error(
+            "E202", f"unsupported zone config schema {schema!r} "
+                    f"(current: {ZONES_SCHEMA_VERSION})", file=source)
+        return None
+    zones = data.get("zones")
+    if not isinstance(zones, list):
+        collect.error("E202", "field 'zones' must be a list",
+                      file=source)
+        return None
+    kinds = {k.value for k in ZoneKind}
+    clean: list[dict] = []
+    for i, entry in enumerate(zones):
+        path = f"zones[{i}]"
+        if not isinstance(entry, dict) \
+                or not isinstance(entry.get("name"), str):
+            collect.error(
+                "E202", f"{path} must be an object with a string "
+                        f"'name'", file=source)
+            continue
+        nets = entry.get("nets", [])
+        if not (isinstance(nets, list)
+                and all(isinstance(n, str) for n in nets)):
+            collect.error(
+                "E202", f"{path}.nets must be a list of net names",
+                file=source)
+            continue
+        kind = entry.get("kind")
+        if kind is not None and kind not in kinds:
+            collect.error(
+                "E202", f"{path}.kind {kind!r} is not one of: "
+                        f"{', '.join(sorted(kinds))}", file=source)
+            continue
+        clean.append(entry)
+    observe = data.get("observe", [])
+    if not isinstance(observe, list):
+        collect.error("E202", "field 'observe' must be a list",
+                      file=source)
+        observe = []
+    extraction = data.get("extraction")
+    if extraction is not None and not isinstance(extraction, dict):
+        collect.error("E202", "field 'extraction' must be an object",
+                      file=source)
+        extraction = None
+    return {"schema": schema, "design": data.get("design"),
+            "zones": clean, "observe": observe,
+            "extraction": extraction}
+
+
+def extraction_config_from_dict(data: dict, source: str,
+                                report: DiagnosticReport):
+    """Rebuild the :class:`ExtractionConfig` a zone config recorded.
+
+    Unknown keys are ignored (forward compatibility); a structurally
+    bad section is an ``E202`` and ``None`` (extraction defaults)."""
+    from .extractor import ExtractionConfig
+    raw = data.get("extraction")
+    if raw is None:
+        return None
+    known = {f.name for f in dataclasses.fields(ExtractionConfig)}
+    kwargs = {}
+    for key, value in raw.items():
+        if key not in known:
+            continue
+        if isinstance(value, list):
+            value = tuple(value)
+        kwargs[key] = value
+    try:
+        return ExtractionConfig(**kwargs)
+    except (TypeError, ValueError) as err:
+        report.error(
+            "E202", f"bad 'extraction' section: {err}", file=source)
+        return None
+
+
+# ----------------------------------------------------------------------
+# resolution against a netlist
+# ----------------------------------------------------------------------
+@dataclass
+class ZoneResolution:
+    """Which configured zones survived the cross-check."""
+
+    selected: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.skipped
+
+
+def resolve_zone_config(data: dict, zone_set: ZoneSet,
+                        circuit: Circuit,
+                        report: DiagnosticReport,
+                        source: str | None = None) -> ZoneResolution:
+    """Cross-check a configuration against the extracted zone set.
+
+    A configured zone *resolves* when its name matches an extracted
+    zone and every net name it lists still exists in the netlist.
+    Failures are coded diagnostics (``E200`` unknown zone with
+    did-you-mean, ``E203`` vanished net, ``E204`` kind drift as a
+    warning); the resolution partitions the configuration into
+    ``selected`` and ``skipped`` zone names for strict/degraded
+    handling by the caller.
+    """
+    resolution = ZoneResolution()
+    known_nets = set(circuit.net_names)
+    design = data.get("design")
+    if design and design != circuit.name:
+        report.warn(
+            "E204", f"zone config was exported for design {design!r} "
+                    f"but the netlist is {circuit.name!r}",
+            file=source)
+    for entry in data.get("zones", []):
+        name = entry["name"]
+        try:
+            zone = zone_set.by_name(name)
+        except ZoneLookupError as err:
+            for diag in err.report.diagnostics:
+                report.error(diag.code, diag.message, file=source,
+                             hint=diag.hint)
+            resolution.skipped.append(name)
+            continue
+        missing = [n for n in entry.get("nets", [])
+                   if n not in known_nets]
+        if missing:
+            report.error(
+                "E203", f"zone {name!r} references net(s) absent "
+                        f"from the netlist: "
+                        f"{', '.join(repr(n) for n in missing[:5])}"
+                        + (f", … ({len(missing) - 5} more)"
+                           if len(missing) > 5 else ""),
+                file=source)
+            resolution.skipped.append(name)
+            continue
+        kind = entry.get("kind")
+        if kind is not None and kind != zone.kind.value:
+            report.warn(
+                "E204", f"zone {name!r} is recorded as {kind!r} but "
+                        f"extracts as {zone.kind.value!r}",
+                file=source)
+        resolution.selected.append(name)
+
+    point_names = {p.name for p in zone_set.observation_points}
+    for entry in data.get("observe", []):
+        name = entry.get("name") if isinstance(entry, dict) else entry
+        if not isinstance(name, str):
+            report.error(
+                "E202", f"observe entry {entry!r} must be a name or "
+                        f"an object with one", file=source)
+            continue
+        if name not in point_names:
+            report.error(
+                "E205", f"observation point {name!r} is not an "
+                        f"output of {circuit.name!r}", file=source)
+    return resolution

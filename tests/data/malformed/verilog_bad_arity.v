@@ -1,0 +1,18 @@
+module bad_arity (clk, a, b, y);
+  input clk;
+  input a;
+  input b;
+  output y;
+  wire n0; // a
+  wire n1; // b
+  wire n2; // y
+  wire n3; // t0
+  wire n4; // t1
+  assign n0 = a;
+  assign n1 = b;
+  assign y = n2;
+  AND2 g0 (n3, n0, n1);
+  AND2 g1 (n4, n0);
+  OR2 g2 (n2, n3, n4, n0);
+  DFF #(.INIT(0)) f0 (clk, n4); // state
+endmodule

@@ -1,0 +1,3 @@
+// a netlist with no module at all
+// (synthesis produced an empty file after an earlier failure)
+wire n0;

@@ -62,9 +62,10 @@ def test_secded_column_distance(k):
 # ----------------------------------------------------------------------
 # λ-algebra properties
 # ----------------------------------------------------------------------
-rates_st = st.builds(FailureRates,
-                     st.floats(0, 1e4), st.floats(0, 1e4),
-                     st.floats(0, 1e4))
+# subnormal rates underflow to 0.0 under scaled(k<1), which flips the
+# SFF/DC ratios to the empty-total convention — exclude them
+_rate_st = st.floats(0, 1e4, allow_subnormal=False)
+rates_st = st.builds(FailureRates, _rate_st, _rate_st, _rate_st)
 
 
 @given(rates_st, rates_st)
