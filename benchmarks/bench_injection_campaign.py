@@ -30,10 +30,13 @@ from repro.faultinjection import (
     CampaignConfig,
     CampaignSpec,
     CampaignSupervisor,
+    ENGINE_COMPILED,
+    ENGINE_INTERPRETED,
     FaultListConfig,
     ParallelCampaignRunner,
     ResultAnalyzer,
     build_environment,
+    randomize,
 )
 from repro.zones import predict_effects_table
 
@@ -138,6 +141,50 @@ def test_campaign_parallel_speedup(benchmark, env):
            per_fault_parallel_ms=f"{per_fault_wide * 1e3:.1f}",
            per_fault_serial_ms=f"{per_fault_serial * 1e3:.1f}")
     assert per_fault_wide < per_fault_serial
+
+
+def test_campaign_engine_speedup(benchmark, env):
+    """Compiled bit-parallel kernel vs the interpreted oracle.
+
+    A dense 1023-fault list fills one full compiled shard (1024
+    machines including the golden lane) that the interpreted engine
+    has to chew through in 22 passes of 48 machines.  The compiled
+    engine must agree bit-for-bit on every safety metric and be at
+    least 10x faster.
+    """
+    dense = env.candidates(FaultListConfig(
+        transient_per_zone=16, permanent_per_zone=16,
+        mem_words_sampled=16))
+    candidates = randomize(dense, 1023)
+
+    def compiled_run():
+        return env.manager(
+            CampaignConfig(engine=ENGINE_COMPILED)).run(candidates)
+
+    campaign = benchmark.pedantic(compiled_run, rounds=2, iterations=1)
+    compiled_s = min(benchmark.stats.stats.as_dict()["min"],
+                     campaign.wall_seconds)
+
+    interpreted = env.manager(
+        CampaignConfig(engine=ENGINE_INTERPRETED)).run(candidates)
+    interpreted_s = interpreted.wall_seconds
+
+    # the kernel is only admissible because it is bit-identical
+    assert campaign.outcomes() == interpreted.outcomes()
+    assert campaign.measured_dc() == interpreted.measured_dc()
+    assert campaign.measured_safe_fraction() == \
+        interpreted.measured_safe_fraction()
+    assert [r.fault.name for r in campaign.results] == \
+        [r.fault.name for r in interpreted.results]
+
+    speedup = interpreted_s / max(compiled_s, 1e-9)
+    report(benchmark,
+           injections=len(campaign.results),
+           compiled_s=f"{compiled_s:.2f}",
+           interpreted_s=f"{interpreted_s:.2f}",
+           engine_speedup=f"{speedup:.1f}x",
+           measured_dc=f"{campaign.measured_dc() * 100:.1f}%")
+    assert speedup >= 10
 
 
 def test_campaign_sharded_worker_speedup(benchmark, env):

@@ -287,7 +287,8 @@ def cmd_campaign(args) -> int:
             print(f"  {done}/{total} faults simulated", flush=True)
 
     cache = None if args.no_cache else _open_store(args)
-    config = CampaignConfig(machines_per_pass=args.machines_per_pass)
+    config = CampaignConfig(machines_per_pass=args.machines_per_pass,
+                            engine=args.engine)
     spec = CampaignSpec.from_environment(env, config=config)
     anomalies = []
     health = None
@@ -618,7 +619,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard count (default: one per worker)")
     p.add_argument("--sample", type=int, default=None,
                    help="randomly down-sample the fault list")
-    p.add_argument("--machines-per-pass", type=int, default=48)
+    p.add_argument("--machines-per-pass", type=int, default=None,
+                   help="faults batched per simulation pass (default: "
+                        "engine-specific, 1023 compiled / 48 "
+                        "interpreted)")
+    p.add_argument("--engine", choices=("compiled", "interpreted"),
+                   default="compiled",
+                   help="simulation kernel: the compiled numpy engine "
+                        "(falls back per pass when a construct is "
+                        "unsupported) or the big-int interpreter")
     p.add_argument("--full", action="store_true",
                    help="use the full (slow) campaign workload")
     p.add_argument("--progress", action="store_true",

@@ -52,6 +52,10 @@ CODES: dict[str, tuple[str, str]] = {
     "E111": ("incomplete-memory-block",
              "a `// MEM` header was not followed by addr/wdata/rdata "
              "pin comments"),
+    "E120": ("combinational-loop",
+             "the netlist cannot be levelized into a feed-forward "
+             "program; break the cycle (e.g. insert a flop) or fix "
+             "the extraction"),
     # ------------------------------------------------------------ E2xx
     "E200": ("unknown-zone",
              "the zone name does not match any extracted sensible "

@@ -1,0 +1,266 @@
+"""One campaign pass on the compiled numpy kernel.
+
+:func:`run_pass_compiled` mirrors
+``FaultInjectionManager._run_pass_interpreted`` record for record —
+same ``FaultResult`` fields, same coverage bookkeeping, same toggle
+merge — but evaluates the whole pass on
+:class:`~repro.hdl.compiled.CompiledSimulator` and replaces the
+per-point Python observation loop with vectorized group reductions:
+
+* all observation points and net-shaped SENS probes are concatenated
+  into one row gather; a single segmented OR (``reduceat``) yields the
+  per-point golden-diff words each cycle;
+* diagnostic points occupy the tail of that concatenation so their
+  different semantics (``raised = v & ~golden`` instead of
+  ``v ^ golden``) are one in-place slice operation;
+* flop- and memory-word SENS probes get the same treatment over the
+  flop-state array and the transposed memory store;
+* per-point *seen* masks ensure the Python recording loop only ever
+  touches a (point, machine) pair once — after the first divergence is
+  recorded the steady-state per-cycle cost is a handful of numpy calls.
+
+The function returns ``False`` — recording **nothing** — whenever the
+pass cannot run compiled (a fault kind without a compiled overlay, or
+a circuit construct the compiler rejects), and the caller re-runs the
+batch interpreted.  Results are bit-identical between the engines;
+``tests/test_compiled_differential.py`` proves it differentially.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hdl.compiled import CompiledSimulator, CompiledUnsupported
+from .manager import FaultResult
+
+_U64 = np.uint64
+
+#: fault kinds with no compiled overlay — checked up front so the
+#: common fallback costs no wasted compile/arm work
+UNSUPPORTED_KINDS = frozenset({"bridge", "mem_coupling"})
+
+_FUNC, _STATUS, _PROBE, _DIAG = 0, 1, 2, 3
+
+
+class _Group:
+    """One concatenated observation family sharing a gather axis."""
+
+    __slots__ = ("index", "starts", "pts", "seen", "buf")
+
+    def __init__(self, index: list[int], starts: list[int],
+                 pts: list[tuple], words: int):
+        self.index = np.asarray(index, dtype=np.intp)
+        self.starts = np.asarray(starts, dtype=np.intp)
+        self.pts = pts                       # (kind, name, members)
+        self.seen = np.zeros((len(pts), words), dtype=_U64)
+        self.buf = np.empty((len(index), words), dtype=_U64)
+
+
+def _build_groups(manager, cc, batch, words):
+    """Partition points + SENS probes into vectorizable groups.
+
+    Returns ``(net_group, diag_seg_lo, func_count, flop_group,
+    mem_groups)``; any group may be ``None``/empty.  Zero-net points
+    are dropped — they can never mismatch (and ``reduceat`` cannot
+    represent empty segments).
+    """
+    rows: list[int] = []
+    starts: list[int] = []
+    pts: list[tuple] = []
+    perm = cc.perm
+
+    def add_point(kind, name, nets, members=None):
+        if not nets:
+            return
+        starts.append(len(rows))
+        rows.extend(int(perm[n]) for n in nets)
+        pts.append((kind, name, members))
+
+    for p in manager.functional:
+        add_point(_FUNC, p.name, list(p.nets))
+    func_count = len(pts)
+    for p in manager.status:
+        add_point(_STATUS, p.name, list(p.nets))
+
+    probe_members: dict[tuple, list[int]] = {}
+    for idx, fault in enumerate(batch):
+        zone = manager._zones_by_name.get(fault.zone or "")
+        if zone is None:
+            continue
+        probe = manager._zone_probe(zone, fault)
+        if probe is None:
+            continue
+        probe_members.setdefault(probe, []).append(idx)
+
+    flop_idx: list[int] = []
+    flop_starts: list[int] = []
+    flop_pts: list[tuple] = []
+    mem_index = {m.name: i
+                 for i, m in enumerate(manager.circuit.memories)}
+    by_mem: dict[int, tuple[list[int], list[tuple]]] = {}
+    for probe, members in probe_members.items():
+        if probe[0] == "nets":
+            add_point(_PROBE, None, list(probe[1]), members)
+        elif probe[0] == "flops":
+            if not probe[1]:
+                continue
+            flop_starts.append(len(flop_idx))
+            flop_idx.extend(probe[1])
+            flop_pts.append((_PROBE, None, members))
+        else:                                # ("mem", name, word)
+            mi = mem_index[probe[1]]
+            mwords, mpts = by_mem.setdefault(mi, ([], []))
+            mwords.append(probe[2])
+            mpts.append((_PROBE, None, members))
+
+    # diagnostic points go LAST: their raised-while-golden-quiet
+    # semantics become one in-place masking of the tail slice
+    diag_seg_lo = len(pts)
+    for p in manager.diagnostic:
+        add_point(_DIAG, p.name, list(p.nets))
+
+    net_group = _Group(rows, starts, pts, words) if pts else None
+    flop_group = _Group(flop_idx, flop_starts, flop_pts, words) \
+        if flop_pts else None
+    mem_groups = [(mi, _Group(mwords, list(range(len(mwords))),
+                              mpts, words))
+                  for mi, (mwords, mpts) in by_mem.items()]
+    return net_group, diag_seg_lo, func_count, flop_group, mem_groups
+
+
+def run_pass_compiled(manager, batch, result,
+                      track_golden: bool = True) -> bool:
+    """Run one campaign pass compiled; ``False`` = caller falls back.
+
+    Nothing is recorded into ``result`` until the pass is guaranteed
+    to run, so falling back to the interpreted engine is always safe.
+    A :class:`~repro.hdl.simulator.CycleBudgetExceeded` raised mid-pass
+    propagates exactly as it does from the interpreted loop (the
+    supervisor's hang quarantine relies on it).
+    """
+    if any(f.kind in UNSUPPORTED_KINDS for f in batch):
+        return False
+    cc = manager.compiled_circuit()
+    if cc is None:
+        return False
+    cfg = manager.config
+    try:
+        sim = CompiledSimulator(cc, machines=len(batch) + 1,
+                                collect_toggles=cfg.collect_toggles,
+                                toggle_any_machine=True,
+                                cycle_budget=cfg.cycle_budget)
+        if manager.setup is not None:
+            manager.setup(sim)
+        for k, fault in enumerate(batch, start=1):
+            fault.arm(sim, machine=k, t0=0)
+    except CompiledUnsupported:
+        return False
+
+    results = [FaultResult(fault=f) for f in batch]
+    net, diag_lo, nfunc, flopg, memgs = _build_groups(
+        manager, cc, batch, sim.words)
+    diag_row_lo = int(net.starts[diag_lo]) \
+        if net is not None and diag_lo < len(net.pts) \
+        else (len(net.index) if net is not None else 0)
+
+    stimuli = manager.stimuli
+    if cfg.max_cycles is not None:
+        stimuli = stimuli[:cfg.max_cycles]
+
+    one = _U64(1)
+    full = sim._full
+    vals = sim._vals
+    coverage = result.coverage
+
+    def record(point_words, group):
+        """Route newly-diverged (point, machine) pairs to results."""
+        new = point_words & ~group.seen
+        if not new.any():
+            return
+        group.seen |= point_words
+        for p in np.nonzero(new.any(axis=1))[0]:
+            kind, name, members = group.pts[p]
+            mask = int.from_bytes(
+                new[p].astype("<u8").tobytes(), "little")
+            if kind == _PROBE:
+                for idx in members:
+                    if (mask >> (idx + 1)) & 1 and \
+                            results[idx].sens_cycle is None:
+                        results[idx].sens_cycle = cycle
+                continue
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                res = results[low.bit_length() - 2]
+                if kind == _FUNC:
+                    res.effects.setdefault(name, cycle)
+                    if res.obse_cycle is None:
+                        res.obse_cycle = cycle
+                elif kind == _STATUS:
+                    res.effects.setdefault(name, cycle)
+                else:
+                    res.effects.setdefault(name, cycle)
+                    if res.diag_cycle is None:
+                        res.diag_cycle = cycle
+                        res.first_alarm = name
+
+    prev_b0 = None
+    for cycle, inputs in enumerate(stimuli):
+        sim.step_eval(inputs)
+
+        if net is not None:
+            vals.take(net.index, axis=0, out=net.buf)
+            sub = net.buf
+            b0 = sub[:, 0] & one
+            gw = b0[:, None] * full
+            diff = sub ^ gw
+            if diag_row_lo < diff.shape[0]:
+                tail = diff[diag_row_lo:]
+                np.bitwise_and(tail, ~gw[diag_row_lo:], out=tail)
+            record(np.bitwise_or.reduceat(diff, net.starts, axis=0),
+                   net)
+            if track_golden:
+                b0b = b0.astype(bool)
+                if prev_b0 is not None and nfunc:
+                    changed = b0b != prev_b0
+                    if changed.any():
+                        cseg = np.logical_or.reduceat(changed,
+                                                      net.starts)
+                        for p in range(nfunc):
+                            if cseg[p]:
+                                coverage.obse[net.pts[p][1]] = True
+                prev_b0 = b0b
+                if diag_lo < len(net.pts):
+                    gseg = np.logical_or.reduceat(b0b, net.starts)
+                    for p in range(diag_lo, len(net.pts)):
+                        if gseg[p]:
+                            coverage.diag[net.pts[p][1]] = True
+
+        if flopg is not None:
+            subf = sim._flop_state[flopg.index]
+            gwf = (subf[:, 0] & one)[:, None] * full
+            record(np.bitwise_or.reduceat(subf ^ gwf, flopg.starts,
+                                          axis=0), flopg)
+
+        for mi, mg in memgs:
+            subm = sim._mem_store[mi][mg.index]     # (P, W, width)
+            gm = (subm[:, 0, :] & one)[:, None, :] \
+                * full[None, :, None]
+            record(np.bitwise_or.reduce(subm ^ gm, axis=2), mg)
+
+        sim.step_commit()
+        result.cycles_simulated += 1
+
+    if cfg.collect_toggles:
+        if result.seen0 is None:
+            result.seen0 = bytearray(manager.circuit.num_nets)
+            result.seen1 = bytearray(manager.circuit.num_nets)
+        seen0, seen1 = sim._seen0, sim._seen1
+        for net_id in range(manager.circuit.num_nets):
+            if seen0[net_id]:
+                result.seen0[net_id] = 1
+            if seen1[net_id]:
+                result.seen1[net_id] = 1
+
+    result.results.extend(results)
+    return True

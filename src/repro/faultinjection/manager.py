@@ -36,10 +36,22 @@ OUTCOME_DETECTED_SAFE = "detected_safe"
 OUTCOME_DD = "dangerous_detected"
 OUTCOME_DU = "dangerous_undetected"
 
+ENGINE_COMPILED = "compiled"
+ENGINE_INTERPRETED = "interpreted"
+
+#: engine-specific defaults for faulty machines per pass: the
+#: interpreted big-int simulator stops gaining past a few dozen lanes,
+#: while the compiled kernel amortizes its fixed per-cycle cost best
+#: when a full fault shard rides in one pass
+DEFAULT_MACHINES_INTERPRETED = 48
+DEFAULT_MACHINES_COMPILED = 1023
+
 
 @dataclass
 class CampaignConfig:
-    machines_per_pass: int = 48    # faulty machines per simulator pass
+    #: faulty machines per simulator pass; ``None`` picks the engine
+    #: default (48 interpreted, 1023 compiled)
+    machines_per_pass: int | None = None
     detection_window: int = 12     # cycles an alarm may trail corruption
     max_cycles: int | None = None  # optionally trim the workload
     collect_toggles: bool = False  # any-machine toggles (step b credit)
@@ -51,6 +63,19 @@ class CampaignConfig:
     #: observed inside one counts as detected (the test's compare step
     #: flags it) — the detection model of the SW start-up test claims
     test_windows: tuple[tuple[int, int], ...] = ()
+    #: simulation engine: :data:`ENGINE_COMPILED` (numpy kernel with
+    #: automatic per-pass fallback) or :data:`ENGINE_INTERPRETED`
+    #: (the big-int oracle).  Outcomes are bit-identical either way;
+    #: store fingerprints never include this knob.
+    engine: str = ENGINE_COMPILED
+
+    def resolved_machines_per_pass(self) -> int:
+        """The effective pass width, applying the engine default."""
+        if self.machines_per_pass is not None:
+            return max(1, self.machines_per_pass)
+        return DEFAULT_MACHINES_COMPILED \
+            if self.engine == ENGINE_COMPILED \
+            else DEFAULT_MACHINES_INTERPRETED
 
 
 @dataclass
@@ -187,6 +212,8 @@ class FaultInjectionManager:
             self._zones_by_name = {z.name: z for z in zone_set.zones}
         self._flop_index = {f.name: i
                             for i, f in enumerate(circuit.flops)}
+        self._compiled = None
+        self._compile_failed = False
 
     # ------------------------------------------------------------------
     def new_result(self) -> CampaignResult:
@@ -224,7 +251,7 @@ class FaultInjectionManager:
         once and shares it instead of recomputing it per batch).
         """
         result = into if into is not None else self.new_result()
-        per_pass = max(1, self.config.machines_per_pass)
+        per_pass = self.config.resolved_machines_per_pass()
         for lo in range(0, len(faults), per_pass):
             batch = faults[lo:lo + per_pass]
             self._run_pass(batch, result, track_golden=track_golden)
@@ -264,8 +291,38 @@ class FaultInjectionManager:
             cov.diag.setdefault(point.name, False)
 
     # ------------------------------------------------------------------
+    def compiled_circuit(self):
+        """The compiled program for this circuit, or ``None`` when the
+        circuit has no compiled representation (then every pass runs
+        interpreted).  Compiled once per manager and shared by all
+        passes; a :class:`~repro.hdl.compiled.CompileError` (e.g. a
+        combinational loop) propagates — it would break the
+        interpreted levelizer just the same."""
+        if self._compile_failed:
+            return None
+        if self._compiled is None:
+            from ..hdl.compiled import CompiledUnsupported, \
+                compile_circuit
+            try:
+                self._compiled = compile_circuit(self.circuit)
+            except CompiledUnsupported:
+                self._compile_failed = True
+                return None
+        return self._compiled
+
     def _run_pass(self, batch: list[Fault], result: CampaignResult,
                   track_golden: bool = True) -> None:
+        if self.config.engine == ENGINE_COMPILED:
+            from .compiled_pass import run_pass_compiled
+            if run_pass_compiled(self, batch, result,
+                                 track_golden=track_golden):
+                return
+        self._run_pass_interpreted(batch, result,
+                                   track_golden=track_golden)
+
+    def _run_pass_interpreted(self, batch: list[Fault],
+                              result: CampaignResult,
+                              track_golden: bool = True) -> None:
         machines = len(batch) + 1
         sim = Simulator(self.circuit, machines=machines,
                         collect_toggles=self.config.collect_toggles,

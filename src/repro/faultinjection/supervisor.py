@@ -520,7 +520,7 @@ class CampaignSupervisor:
             return self.shards
         if self.cache is None or self._fingerprints is None:
             return self.workers
-        chunk = max(1, self.spec.config.machines_per_pass
+        chunk = max(1, self.spec.config.resolved_machines_per_pass()
                     * self.cache.flush_passes)
         return max(self.workers, -(-len(miss_indices) // chunk))
 

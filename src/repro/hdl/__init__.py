@@ -21,6 +21,14 @@ from .netlist import (
     split_bit_suffix,
 )
 from .builder import Module, Vec
+from .compiled import (
+    CompiledCircuit,
+    CompiledSimulator,
+    CompiledUnsupported,
+    CompileError,
+    compile_circuit,
+    decompile,
+)
 from .simulator import (
     BRIDGE_AND,
     BRIDGE_DOMINANT,
@@ -43,6 +51,8 @@ from . import library
 __all__ = [
     "Circuit", "Flop", "Gate", "MemoryBlock", "NetlistError",
     "Module", "Vec", "Simulator", "library",
+    "CompiledCircuit", "CompiledSimulator", "CompiledUnsupported",
+    "CompileError", "compile_circuit", "decompile",
     "BRIDGE_AND", "BRIDGE_DOMINANT", "BRIDGE_OR",
     "CycleBudgetExceeded",
     "ToggleReport", "measure_toggle_coverage",

@@ -1,0 +1,1090 @@
+"""Compiled bit-parallel simulation kernel (numpy ``uint64`` lanes).
+
+The interpreted :class:`~repro.hdl.simulator.Simulator` walks the gate
+list in Python, one big-int per net.  This module compiles a
+:class:`~repro.hdl.netlist.Circuit` once into a straight-line program of
+vectorized numpy bitwise operations and evaluates *all* machines of a
+campaign pass in packed 64-bit words:
+
+* :func:`compile_circuit` — levelize the netlist (ASAP levels), renumber
+  the nets so that the outputs of every ``(level, opcode)`` group are a
+  contiguous row range, and precompute one fused gather index per level.
+  Combinational loops are rejected with :class:`CompileError` carrying
+  the stable diagnostic code ``E120`` instead of a raw traceback.
+* :func:`decompile` — reconstruct an equivalent :class:`Circuit` from a
+  compiled program.  The round-trip preserves ``structural_hash``.
+* :class:`CompiledSimulator` — a drop-in replacement for the interpreted
+  simulator (same public API, same fault overlays, bit-identical
+  results).  Net values live in a ``(rows, W)`` ``uint64`` array where
+  ``W = ceil(machines / 64)``; machine *k* is bit ``k % 64`` of word
+  ``k // 64`` and machine 0 stays the golden reference, exactly like the
+  interpreted big-int layout.
+
+Constructs with no compiled implementation (bridging faults, memory
+coupling faults) raise :class:`CompiledUnsupported`; the campaign
+engine catches it and falls back to the interpreted oracle for that
+pass, so ``engine='compiled'`` is always safe to request.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..diagnostics.core import Diagnostic, DiagnosticError
+from .netlist import (
+    Circuit,
+    Gate,
+    NetlistError,
+    OP_AND,
+    OP_ARITY,
+    OP_BUF,
+    OP_CONST0,
+    OP_CONST1,
+    OP_MUX,
+    OP_NAND,
+    OP_NOR,
+    OP_NOT,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+)
+from .simulator import CycleBudgetExceeded
+
+_U64 = np.uint64
+_WORD_BITS = 64
+
+#: diagnostic code raised for combinational loops at compile time
+LOOP_CODE = "E120"
+
+
+class CompiledUnsupported(NetlistError):
+    """A construct or fault overlay has no compiled implementation.
+
+    Campaign engines treat this as a *fallback* signal: the batch is
+    re-run on the interpreted simulator, never dropped.
+    """
+
+
+class CompileError(DiagnosticError, NetlistError):
+    """The circuit cannot be compiled (coded diagnostic, e.g. E120)."""
+
+    def __init__(self, diagnostic: Diagnostic):
+        super().__init__(diagnostic)
+        self.code = diagnostic.code
+
+
+# ----------------------------------------------------------------------
+# compiled program representation
+# ----------------------------------------------------------------------
+class _Group:
+    """One ``(opcode, arity)`` run of gates inside a level."""
+
+    __slots__ = ("op", "arity", "arg_lo", "count", "out_lo", "out_hi")
+
+    def __init__(self, op, arity, arg_lo, count, out_lo):
+        self.op = op
+        self.arity = arity
+        self.arg_lo = arg_lo
+        self.count = count
+        self.out_lo = out_lo
+        self.out_hi = out_lo + count
+
+
+class _Level:
+    """One topological level: a fused gather plus its op groups."""
+
+    __slots__ = ("gather", "groups", "nargs")
+
+    def __init__(self, gather, groups):
+        self.gather = gather
+        self.groups = groups
+        self.nargs = len(gather)
+
+
+class CompiledCircuit:
+    """A levelized, renumbered straight-line program for one circuit.
+
+    Immutable and shareable: any number of :class:`CompiledSimulator`
+    instances (with different machine counts) can run the same program.
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        n = circuit.num_nets
+        self.num_nets = n
+        # two sentinel rows give flops without en/rst a constant input
+        self.zero_row = n
+        self.one_row = n + 1
+        self.num_rows = n + 2
+
+        drivers: dict[int, tuple[str, int]] = {}
+
+        def claim(net: int, desc: tuple[str, int]) -> None:
+            if net in drivers:
+                raise CompiledUnsupported(
+                    f"net {circuit.net_names[net]!r} has multiple "
+                    f"drivers; compiled renumbering requires the "
+                    f"single-driver rule")
+            drivers[net] = desc
+
+        for name, nets in circuit.inputs.items():
+            for net in nets:
+                claim(net, ("input", -1))
+        for i, flop in enumerate(circuit.flops):
+            claim(flop.q, ("flop", i))
+        for i, mem in enumerate(circuit.memories):
+            for net in mem.rdata:
+                claim(net, ("mem", i))
+        for i, gate in enumerate(circuit.gates):
+            kind = "const" if gate.op in (OP_CONST0, OP_CONST1) \
+                else "gate"
+            claim(gate.out, (kind, i))
+
+        gate_level = self._levelize(circuit, drivers)
+        self.depth = (max(gate_level) + 1) if gate_level else 0
+
+        # renumber: sources (inputs, flop q, rdata, consts, undriven
+        # nets) first in original order, then gate outputs grouped by
+        # (level, opcode) so every group's outputs are one contiguous
+        # row range and per-group scatter is a plain slice store.
+        perm = np.full(n, -1, dtype=np.intp)
+        next_row = 0
+        for net in range(n):
+            kind = drivers.get(net, ("undriven", -1))[0]
+            if kind != "gate":
+                perm[net] = next_row
+                next_row += 1
+        self.num_source_rows = next_row
+
+        by_level_op: dict[tuple[int, int], list[int]] = {}
+        for gi, gate in enumerate(circuit.gates):
+            if gate.op in (OP_CONST0, OP_CONST1):
+                continue
+            by_level_op.setdefault((gate_level[gi], gate.op),
+                                   []).append(gi)
+
+        levels: list[_Level] = []
+        for lvl in range(self.depth):
+            gather: list[int] = []
+            groups: list[_Group] = []
+            for op in sorted(op for (lv, op) in by_level_op
+                             if lv == lvl):
+                gis = by_level_op[(lvl, op)]
+                arity = OP_ARITY[op]
+                group = _Group(op, arity, len(gather), len(gis),
+                               next_row)
+                for gi in gis:
+                    perm[circuit.gates[gi].out] = next_row
+                    next_row += 1
+                    gather.extend(circuit.gates[gi].inputs)
+                groups.append(group)
+            levels.append(_Level(gather, groups))
+        assert next_row == n
+
+        # gather indices reference *rows*, so translate through perm
+        # once the whole permutation is known
+        for level in levels:
+            level.gather = perm[np.asarray(level.gather,
+                                           dtype=np.intp)] \
+                if level.gather else np.empty(0, dtype=np.intp)
+        self.levels = levels
+        self.perm = perm
+        self.max_level_args = max((lv.nargs for lv in levels),
+                                  default=0)
+        self.max_mux_count = max(
+            (g.count for lv in levels for g in lv.groups
+             if g.op == OP_MUX), default=0)
+
+        # overlay bucket of a row: 0 = applied before level 0 (sources
+        # and const outputs), k+1 = applied right after level k
+        bucket = np.zeros(n, dtype=np.intp)
+        for gi, gate in enumerate(circuit.gates):
+            if gate.op not in (OP_CONST0, OP_CONST1):
+                bucket[gate.out] = gate_level[gi] + 1
+        self.bucket_of = bucket            # indexed by *original* net id
+
+        self.const0_rows = perm[np.array(
+            [g.out for g in circuit.gates if g.op == OP_CONST0],
+            dtype=np.intp)]
+        self.const1_rows = perm[np.array(
+            [g.out for g in circuit.gates if g.op == OP_CONST1],
+            dtype=np.intp)]
+
+        flops = circuit.flops
+        self.flop_q_rows = perm[np.array([f.q for f in flops],
+                                         dtype=np.intp)]
+        self.flop_d_rows = perm[np.array([f.d for f in flops],
+                                         dtype=np.intp)]
+        self.flop_en_rows = np.array(
+            [self.one_row if f.en is None else perm[f.en]
+             for f in flops], dtype=np.intp)
+        self.flop_rst_rows = np.array(
+            [self.zero_row if f.rst is None else perm[f.rst]
+             for f in flops], dtype=np.intp)
+        self.flop_init = np.array([bool(f.init) for f in flops],
+                                  dtype=bool)
+
+        self.mem_addr_rows = [perm[np.array(m.addr, dtype=np.intp)]
+                              for m in circuit.memories]
+        self.mem_wdata_rows = [perm[np.array(m.wdata, dtype=np.intp)]
+                               for m in circuit.memories]
+        self.mem_we_rows = [int(perm[m.we]) for m in circuit.memories]
+        self.mem_rdata_rows = [perm[np.array(m.rdata, dtype=np.intp)]
+                               for m in circuit.memories]
+
+    @staticmethod
+    def _levelize(circuit: Circuit, drivers) -> list[int]:
+        """ASAP level per gate index; CompileError (E120) on a loop."""
+        n = circuit.num_nets
+        net_level = [0] * n
+        gate_level = [0] * len(circuit.gates)
+        ready = [False] * n
+        for net, (kind, _) in drivers.items():
+            if kind != "gate":
+                ready[net] = True
+        for net in range(n):
+            if net not in drivers:
+                ready[net] = True
+
+        remaining: dict[int, int] = {}
+        waiters: dict[int, list[int]] = {}
+        queue: list[int] = []
+        for gi, gate in enumerate(circuit.gates):
+            if gate.op in (OP_CONST0, OP_CONST1):
+                ready[gate.out] = True
+        for gi, gate in enumerate(circuit.gates):
+            if gate.op in (OP_CONST0, OP_CONST1):
+                continue
+            missing = sum(1 for net in gate.inputs if not ready[net])
+            if missing == 0:
+                queue.append(gi)
+            else:
+                remaining[gi] = missing
+                for net in gate.inputs:
+                    if not ready[net]:
+                        waiters.setdefault(net, []).append(gi)
+
+        placed = 0
+        while queue:
+            gi = queue.pop()
+            gate = circuit.gates[gi]
+            lvl = 0
+            for net in gate.inputs:
+                nl = net_level[net]
+                if nl > lvl:
+                    lvl = nl
+            gate_level[gi] = lvl
+            placed += 1
+            out = gate.out
+            if not ready[out]:
+                ready[out] = True
+                net_level[out] = lvl + 1
+                for gj in waiters.get(out, ()):
+                    remaining[gj] -= 1
+                    if remaining[gj] == 0:
+                        queue.append(gj)
+
+        total = sum(1 for g in circuit.gates
+                    if g.op not in (OP_CONST0, OP_CONST1))
+        if placed != total:
+            stuck = [gi for gi, left in remaining.items() if left > 0]
+            names = [circuit.net_names[circuit.gates[gi].out]
+                     for gi in stuck[:5]]
+            raise CompileError(Diagnostic(
+                code=LOOP_CODE,
+                message=(f"circuit {circuit.name!r} has a "
+                         f"combinational cycle involving nets "
+                         f"{names} ({len(stuck)} gates unplaced)")))
+        return gate_level
+
+
+def compile_circuit(circuit: Circuit) -> CompiledCircuit:
+    """Compile a circuit into a straight-line numpy program.
+
+    Raises :class:`CompileError` (code ``E120``) on combinational
+    loops and :class:`CompiledUnsupported` on structures the compiled
+    renumbering cannot represent (multi-driven nets).
+    """
+    return CompiledCircuit(circuit)
+
+
+def decompile(compiled: CompiledCircuit) -> Circuit:
+    """Reconstruct a behaviourally identical :class:`Circuit`.
+
+    Gate order follows the compiled schedule, not the original
+    construction order; the canonical serialization sorts gates, so
+    ``decompile(compile_circuit(c)).structural_hash()`` equals
+    ``c.structural_hash()``.
+    """
+    src = compiled.circuit
+    out = Circuit(name=src.name,
+                  net_names=list(src.net_names),
+                  inputs={k: list(v) for k, v in src.inputs.items()},
+                  outputs={k: list(v) for k, v in src.outputs.items()})
+    by_path = {g.out: g.path for g in src.gates}
+    inv = np.empty(compiled.num_nets, dtype=np.intp)
+    inv[compiled.perm] = np.arange(compiled.num_nets, dtype=np.intp)
+
+    for gate in src.gates:               # consts stay source-level
+        if gate.op in (OP_CONST0, OP_CONST1):
+            out.add_gate(gate.op, (), gate.out, path=gate.path)
+    for level in compiled.levels:
+        gather = level.gather
+        for grp in level.groups:
+            base = grp.arg_lo
+            for k in range(grp.count):
+                o = int(inv[grp.out_lo + k])
+                ins = tuple(
+                    int(inv[gather[base + k * grp.arity + j]])
+                    for j in range(grp.arity))
+                out.add_gate(grp.op, ins, o, path=by_path.get(o, ""))
+    for f in src.flops:
+        out.flops.append(type(f)(name=f.name, d=f.d, q=f.q,
+                                 path=f.path, en=f.en, rst=f.rst,
+                                 init=f.init))
+    for m in src.memories:
+        out.memories.append(type(m)(name=m.name, depth=m.depth,
+                                    width=m.width, addr=m.addr,
+                                    wdata=m.wdata, we=m.we,
+                                    rdata=m.rdata, path=m.path))
+    return out
+
+
+# ----------------------------------------------------------------------
+# the simulator
+# ----------------------------------------------------------------------
+class CompiledSimulator:
+    """Drop-in bit-parallel simulator running a compiled program.
+
+    API-compatible with :class:`~repro.hdl.simulator.Simulator`; fault
+    overlays accept the same arguments and Python-int machine masks.
+    Bridging and memory-coupling overlays raise
+    :class:`CompiledUnsupported` (the campaign engine falls back to
+    the interpreted simulator for those).
+    """
+
+    def __init__(self, circuit, machines: int = 1,
+                 collect_toggles: bool = False,
+                 toggle_any_machine: bool = False,
+                 cycle_budget: int | None = None):
+        if machines < 1:
+            raise ValueError("need at least one machine")
+        cc = circuit if isinstance(circuit, CompiledCircuit) \
+            else compile_circuit(circuit)
+        self.compiled = cc
+        self.circuit = cc.circuit
+        self.machines = machines
+        self.full_mask = (1 << machines) - 1
+        self.cycle = 0
+        self.cycle_budget = cycle_budget
+
+        W = (machines + _WORD_BITS - 1) // _WORD_BITS
+        self.words = W
+        self._full = self._pack(self.full_mask)
+        self._notone = self._full.copy()
+        self._notone[0] &= _U64(~np.uint64(1))
+
+        self._vals = np.zeros((cc.num_rows, W), dtype=_U64)
+        self._vals[cc.one_row] = self._full
+        if len(cc.const1_rows):
+            self._vals[cc.const1_rows] = self._full
+        self._gbuf = np.empty((cc.max_level_args, W), dtype=_U64)
+        self._mux_tmp = np.empty((cc.max_mux_count, W), dtype=_U64)
+        self._program = self._build_program()
+
+        F = len(self.circuit.flops)
+        self._flop_state = np.where(cc.flop_init[:, None],
+                                    self._full, _U64(0)) \
+            if F else np.zeros((0, W), dtype=_U64)
+        self._flop_init_words = self._flop_state.copy()
+
+        # transposed store layout (depth, W, width): one fancy-index
+        # per divergent-address access touches all bits of a word
+        self._mem_store = [np.zeros((m.depth, W, m.width), dtype=_U64)
+                           for m in self.circuit.memories]
+        self._mem_rdata = [np.zeros((W, m.width), dtype=_U64)
+                           for m in self.circuit.memories]
+        # address-bit weights: golden/per-lane addresses assemble as a
+        # dot product instead of a Python loop over address bits
+        self._mem_pow2 = [
+            np.left_shift(np.int64(1),
+                          np.arange(len(cc.mem_addr_rows[i]),
+                                    dtype=np.int64))
+            for i in range(len(self.circuit.memories))]
+
+        self._input_rows = {
+            name: cc.perm[np.asarray(nets, dtype=np.intp)]
+            for name, nets in self.circuit.inputs.items()}
+        # last-driven value per port: rows of an unchanged port are
+        # only rewritten by eval-start overlays, which are idempotent,
+        # so re-driving the same value can be skipped.  Glitches on
+        # primary inputs XOR the rows in place and void that reasoning.
+        self._input_last: dict[str, int] = {}
+        self._input_nets = {net for nets in self.circuit.inputs.values()
+                            for net in nets}
+        self._input_cache_ok = True
+        # double-buffered flop state + scratch for zero-alloc commits
+        self._state_alt = np.zeros_like(self._flop_state)
+        self._fbuf_a = np.empty_like(self._flop_state)
+        self._fbuf_b = np.empty_like(self._flop_state)
+        self._flop_index = {f.name: i
+                            for i, f in enumerate(self.circuit.flops)}
+        self._mem_index = {m.name: i for i, m
+                           in enumerate(self.circuit.memories)}
+        self._net_index: dict[str, int] | None = None
+
+        # per-machine word/bit coordinates for the divergent-address
+        # memory path
+        lanes = np.arange(machines, dtype=np.intp)
+        self._lane_word = lanes >> 6
+        self._lane_shift = (lanes & 63).astype(_U64)
+
+        # fault state: original net id -> (clear, set) word vectors
+        self._forced: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._overlay_plan: list | None = None
+        self._flop_flips: dict[int, list] = {}
+        self._net_glitches: dict[int, dict[int, np.ndarray]] = {}
+        self._mem_flips: dict[int, list] = {}
+        self._mem_stuck: dict[int, dict[tuple[int, int], tuple]] = {}
+        # per-memory stacked (words, bits, ~clear, set) arrays, built
+        # lazily from _mem_stuck and applied as one gather/scatter
+        self._mem_stuck_cache: dict[int, tuple] = {}
+
+        self.collect_toggles = collect_toggles
+        self.toggle_any_machine = toggle_any_machine
+        n = cc.num_nets
+        self._t_seen0 = np.zeros(n, dtype=bool)
+        self._t_seen1 = np.zeros(n, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # packing helpers
+    # ------------------------------------------------------------------
+    def _pack(self, mask: int) -> np.ndarray:
+        """Python-int machine mask -> little-endian uint64 words."""
+        return np.frombuffer(
+            mask.to_bytes(self.words * 8, "little"),
+            dtype="<u8").astype(_U64)
+
+    @staticmethod
+    def _unpack(words: np.ndarray) -> int:
+        return int.from_bytes(np.ascontiguousarray(
+            words.astype("<u8")).tobytes(), "little")
+
+    # ------------------------------------------------------------------
+    # name resolution (same contract as the interpreted simulator)
+    # ------------------------------------------------------------------
+    def _resolve_net(self, net) -> int:
+        if isinstance(net, (int, np.integer)):
+            return int(net)
+        if self._net_index is None:
+            self._net_index = {name: i for i, name
+                               in enumerate(self.circuit.net_names)}
+        try:
+            return self._net_index[net]
+        except KeyError:
+            raise NetlistError(f"no net named {net!r}") from None
+
+    def _resolve_flop(self, flop) -> int:
+        if isinstance(flop, (int, np.integer)):
+            return int(flop)
+        try:
+            return self._flop_index[flop]
+        except KeyError:
+            raise NetlistError(f"no flop named {flop!r}") from None
+
+    def _resolve_mem(self, mem) -> int:
+        if isinstance(mem, (int, np.integer)):
+            return int(mem)
+        try:
+            return self._mem_index[mem]
+        except KeyError:
+            raise NetlistError(f"no memory named {mem!r}") from None
+
+    def _mask(self, machines) -> int:
+        if machines is None:
+            return self.full_mask
+        if isinstance(machines, int):
+            return machines & self.full_mask
+        mask = 0
+        for k in machines:
+            mask |= 1 << k
+        return mask & self.full_mask
+
+    def _row(self, net) -> int:
+        return int(self.compiled.perm[self._resolve_net(net)])
+
+    # ------------------------------------------------------------------
+    # fault programming
+    # ------------------------------------------------------------------
+    def stick_net(self, net, value: int, machines=None) -> None:
+        net = self._resolve_net(net)
+        mask = self._pack(self._mask(machines))
+        clear, setm = self._forced.get(
+            net, (np.zeros(self.words, dtype=_U64),
+                  np.zeros(self.words, dtype=_U64)))
+        clear = clear | mask
+        setm = (setm & ~mask) | (mask if value else _U64(0))
+        self._forced[net] = (clear, setm)
+        self._overlay_plan = None
+
+    def schedule_flop_flip(self, flop, cycle: int, machines=None) \
+            -> None:
+        idx = self._resolve_flop(flop)
+        self._flop_flips.setdefault(cycle, []).append(
+            (idx, self._pack(self._mask(machines))))
+
+    def schedule_net_glitch(self, net, cycle: int, machines=None) \
+            -> None:
+        net = self._resolve_net(net)
+        if net in self._input_nets:
+            self._input_cache_ok = False
+            self._input_last.clear()
+        mask = self._pack(self._mask(machines))
+        table = self._net_glitches.setdefault(cycle, {})
+        prev = table.get(net)
+        table[net] = mask if prev is None else (prev | mask)
+
+    def add_bridge(self, aggressor, victim, mode=None, machines=None) \
+            -> None:
+        raise CompiledUnsupported(
+            "bridging faults are not supported by the compiled "
+            "kernel; use the interpreted engine")
+
+    def set_mem_cell_stuck(self, mem, word: int, bit: int, value: int,
+                           machines=None) -> None:
+        mem = self._resolve_mem(mem)
+        mask = self._pack(self._mask(machines))
+        table = self._mem_stuck.setdefault(mem, {})
+        clear, setm = table.get(
+            (word, bit), (np.zeros(self.words, dtype=_U64),
+                          np.zeros(self.words, dtype=_U64)))
+        clear = clear | mask
+        setm = (setm & ~mask) | (mask if value else _U64(0))
+        table[(word, bit)] = (clear, setm)
+        self._mem_stuck_cache.pop(mem, None)
+
+    def schedule_mem_flip(self, mem, word: int, bit: int, cycle: int,
+                          machines=None) -> None:
+        mem = self._resolve_mem(mem)
+        self._mem_flips.setdefault(cycle, []).append(
+            (mem, word, bit, self._pack(self._mask(machines))))
+
+    def add_mem_coupling(self, mem, aggressor, victim, machines=None) \
+            -> None:
+        raise CompiledUnsupported(
+            "memory coupling faults are not supported by the "
+            "compiled kernel; use the interpreted engine")
+
+    def clear_faults(self) -> None:
+        self._forced.clear()
+        self._flop_flips.clear()
+        self._net_glitches.clear()
+        self._mem_flips.clear()
+        self._mem_stuck.clear()
+        self._mem_stuck_cache.clear()
+        self._overlay_plan = None
+
+    # ------------------------------------------------------------------
+    # state access
+    # ------------------------------------------------------------------
+    def set_input(self, name: str, value: int) -> None:
+        try:
+            rows = self._input_rows[name]
+        except KeyError:
+            raise NetlistError(f"no input named {name!r}") from None
+        if self._input_cache_ok:
+            if self._input_last.get(name) == value:
+                return
+            self._input_last[name] = value
+        bits = np.asarray(
+            [(value >> b) & 1 for b in range(len(rows))], dtype=bool)
+        self._vals[rows] = np.where(bits[:, None], self._full,
+                                    _U64(0))
+
+    def set_input_lane(self, name: str, machine: int, value: int) \
+            -> None:
+        self._input_last.pop(name, None)
+        nets = self.circuit.inputs[name]
+        w = machine >> 6
+        lane = _U64(1) << _U64(machine & 63)
+        vals = self._vals
+        perm = self.compiled.perm
+        for bit, net in enumerate(nets):
+            row = perm[net]
+            if (value >> bit) & 1:
+                vals[row, w] |= lane
+            else:
+                vals[row, w] &= ~lane
+
+    def peek(self, net) -> int:
+        return self._unpack(self._vals[self._row(net)])
+
+    def peek_bit(self, net, machine: int = 0) -> int:
+        v = self._vals[self._row(net), machine >> 6]
+        return int(v >> _U64(machine & 63)) & 1
+
+    def value_of(self, nets, machine: int = 0) -> int:
+        out = 0
+        vals = self._vals
+        perm = self.compiled.perm
+        w = machine >> 6
+        s = _U64(machine & 63)
+        for bit, net in enumerate(nets):
+            out |= (int(vals[perm[net], w] >> s) & 1) << bit
+        return out
+
+    def output(self, name: str, machine: int = 0) -> int:
+        return self.value_of(self.circuit.outputs[name], machine)
+
+    def set_flop(self, flop, value: int, machines=None) -> None:
+        idx = self._resolve_flop(flop)
+        mask = self._pack(self._mask(machines))
+        state = self._flop_state[idx]
+        self._flop_state[idx] = (state & ~mask) | \
+            (mask if value else _U64(0))
+
+    def flop_value(self, flop, machine: int = 0) -> int:
+        v = self._flop_state[self._resolve_flop(flop), machine >> 6]
+        return int(v >> _U64(machine & 63)) & 1
+
+    def load_mem(self, mem, words) -> None:
+        mi = self._resolve_mem(mem)
+        block = self.circuit.memories[mi]
+        store = self._mem_store[mi]
+        for w, word in enumerate(words):
+            if w >= block.depth:
+                break
+            bits = np.asarray(
+                [(word >> b) & 1 for b in range(block.width)],
+                dtype=bool)
+            store[w] = np.where(bits[None, :], self._full[:, None],
+                                _U64(0))
+
+    def read_mem_word(self, mem, word: int, machine: int = 0) -> int:
+        mi = self._resolve_mem(mem)
+        cells = self._mem_store[mi][word, machine >> 6]
+        s = _U64(machine & 63)
+        out = 0
+        for b in range(cells.shape[0]):
+            out |= (int(cells[b] >> s) & 1) << b
+        return out
+
+    # ------------------------------------------------------------------
+    # mismatch extraction
+    # ------------------------------------------------------------------
+    def _diff_words(self, sub: np.ndarray) -> np.ndarray:
+        """OR-reduced golden diff of a (k, W) value block -> (W,)."""
+        if not sub.shape[0]:
+            return np.zeros(self.words, dtype=_U64)
+        golden = np.where((sub[:, 0] & _U64(1)).astype(bool)[:, None],
+                          self._full, _U64(0))
+        return np.bitwise_or.reduce(sub ^ golden, axis=0) \
+            & self._notone
+
+    def flop_state_mismatch(self, flops) -> int:
+        idxs = np.asarray([self._resolve_flop(f) for f in flops],
+                          dtype=np.intp)
+        return self._unpack(self._diff_words(self._flop_state[idxs]))
+
+    def mem_word_mismatch(self, mem, word: int) -> int:
+        cells = self._mem_store[self._resolve_mem(mem)][word]
+        golden = np.where((cells[0] & _U64(1)).astype(bool)[None, :],
+                          self._full[:, None], _U64(0))
+        diff = np.bitwise_or.reduce(cells ^ golden, axis=1) \
+            & self._notone
+        return self._unpack(diff)
+
+    def mismatch_mask(self, nets) -> int:
+        rows = self.compiled.perm[np.asarray(
+            [self._resolve_net(n) for n in nets], dtype=np.intp)]
+        return self._unpack(self._diff_words(self._vals[rows]))
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def _build_program(self) -> list[tuple]:
+        """Flatten the compiled levels into reusable micro-ops.
+
+        Every operand/destination is a *fixed view* into the gather
+        buffer or the value array, created once here; the per-cycle
+        loop is then nothing but ufunc calls with ``out=``.
+        """
+        full = self._full
+        program = []
+        for level in self.compiled.levels:
+            buf = self._gbuf[:level.nargs]
+            micro: list[tuple] = []
+            for g in level.groups:
+                lo, n, ar = g.arg_lo, g.count, g.arity
+                a = buf[lo:lo + n * ar:ar]
+                b = buf[lo + 1:lo + n * ar:ar] if ar >= 2 else None
+                c = buf[lo + 2:lo + n * ar:ar] if ar >= 3 else None
+                dst = self._vals[g.out_lo:g.out_hi]
+                op = g.op
+                if op == OP_AND:
+                    micro.append((np.bitwise_and, a, b, dst))
+                elif op == OP_OR:
+                    micro.append((np.bitwise_or, a, b, dst))
+                elif op == OP_XOR:
+                    micro.append((np.bitwise_xor, a, b, dst))
+                elif op == OP_NOT:
+                    micro.append((np.bitwise_xor, a, full, dst))
+                elif op == OP_BUF:
+                    micro.append((np.bitwise_or, a, _U64(0), dst))
+                elif op == OP_NAND:
+                    micro.append((np.bitwise_and, a, b, dst))
+                    micro.append((np.bitwise_xor, dst, full, dst))
+                elif op == OP_NOR:
+                    micro.append((np.bitwise_or, a, b, dst))
+                    micro.append((np.bitwise_xor, dst, full, dst))
+                elif op == OP_XNOR:
+                    micro.append((np.bitwise_xor, a, b, dst))
+                    micro.append((np.bitwise_xor, dst, full, dst))
+                else:  # OP_MUX: dst = (b & sel) | (c & ~sel)
+                    tmp = self._mux_tmp[:n]
+                    micro.append((np.bitwise_not, a, None, tmp))
+                    micro.append((np.bitwise_and, tmp, c, tmp))
+                    micro.append((np.bitwise_and, a, b, dst))
+                    micro.append((np.bitwise_or, dst, tmp, dst))
+            program.append((level.gather if level.nargs else None,
+                            buf, micro))
+        return program
+
+    def _build_overlay_plan(self) -> list:
+        """Forced nets grouped by overlay bucket (0=sources, L+1 after
+        level L), as a bucket-indexed list of
+        ``(rows, notclear, setm, scratch)`` entries (``None`` where the
+        bucket is empty) so the eval loop applies each with four
+        allocation-free numpy calls."""
+        plan: list = [None] * (len(self.compiled.levels) + 1)
+        buckets: dict[int, list[int]] = {}
+        for net in self._forced:
+            buckets.setdefault(
+                int(self.compiled.bucket_of[net]), []).append(net)
+        for b, nets in buckets.items():
+            rows = self.compiled.perm[np.asarray(nets, dtype=np.intp)]
+            notclear = np.stack([~self._forced[n][0] for n in nets])
+            setm = np.stack([self._forced[n][1] for n in nets])
+            plan[b] = (rows, notclear, setm, np.empty_like(setm))
+        return plan
+
+    def _glitch_buckets(self) -> dict[int, tuple] | None:
+        table = self._net_glitches.get(self.cycle)
+        if not table:
+            return None
+        buckets: dict[int, list[int]] = {}
+        for net in table:
+            buckets.setdefault(
+                int(self.compiled.bucket_of[net]), []).append(net)
+        return {b: (self.compiled.perm[np.asarray(nets,
+                                                  dtype=np.intp)],
+                    np.stack([table[n] for n in nets]))
+                for b, nets in buckets.items()}
+
+    def eval_comb(self) -> None:
+        cc = self.compiled
+        vals = self._vals
+        if len(cc.flop_q_rows):
+            vals[cc.flop_q_rows] = self._flop_state
+        for mi, rows in enumerate(cc.mem_rdata_rows):
+            if len(rows):
+                vals[rows] = self._mem_rdata[mi].T
+        # overlays may have clobbered constant rows last cycle
+        if len(cc.const0_rows):
+            vals[cc.const0_rows] = _U64(0)
+        if len(cc.const1_rows):
+            vals[cc.const1_rows] = self._full
+
+        if self._overlay_plan is None:
+            self._overlay_plan = self._build_overlay_plan()
+        plan = self._overlay_plan
+        glitches = self._glitch_buckets()
+        overlayed = bool(self._forced) or glitches is not None
+
+        take = vals.take
+        band = np.bitwise_and
+        bor = np.bitwise_or
+        if overlayed:
+            entry = plan[0]
+            if entry is not None:
+                rows, nc, sm, obuf = entry
+                take(rows, axis=0, out=obuf)
+                band(obuf, nc, out=obuf)
+                bor(obuf, sm, out=obuf)
+                vals[rows] = obuf
+            if glitches is not None:
+                g = glitches.get(0)
+                if g is not None:
+                    grows, gmasks = g
+                    vals[grows] = vals[grows] ^ gmasks
+            for lvl, (gather, buf, micro) in enumerate(self._program):
+                if gather is not None:
+                    take(gather, axis=0, out=buf)
+                for fn, a, b, dst in micro:
+                    if b is None:
+                        fn(a, out=dst)
+                    else:
+                        fn(a, b, out=dst)
+                entry = plan[lvl + 1]
+                if entry is not None:
+                    rows, nc, sm, obuf = entry
+                    take(rows, axis=0, out=obuf)
+                    band(obuf, nc, out=obuf)
+                    bor(obuf, sm, out=obuf)
+                    vals[rows] = obuf
+                if glitches is not None:
+                    g = glitches.get(lvl + 1)
+                    if g is not None:
+                        grows, gmasks = g
+                        vals[grows] = vals[grows] ^ gmasks
+        else:
+            for gather, buf, micro in self._program:
+                if gather is not None:
+                    take(gather, axis=0, out=buf)
+                for fn, a, b, dst in micro:
+                    if b is None:
+                        fn(a, out=dst)
+                    else:
+                        fn(a, b, out=dst)
+
+        if self.collect_toggles:
+            nets = vals[:cc.num_nets]
+            if self.toggle_any_machine:
+                self._t_seen1 |= nets.any(axis=1)
+                self._t_seen0 |= (nets != self._full).any(axis=1)
+            else:
+                bit0 = (nets[:, 0] & _U64(1)).astype(bool)
+                self._t_seen1 |= bit0
+                self._t_seen0 |= ~bit0
+
+    def clock_edge(self) -> None:
+        cc = self.compiled
+        vals = self._vals
+        if len(cc.flop_d_rows):
+            d = vals.take(cc.flop_d_rows, axis=0, out=self._fbuf_a)
+            en = vals.take(cc.flop_en_rows, axis=0, out=self._fbuf_b)
+            q = self._flop_state
+            nxt = self._state_alt
+            np.bitwise_and(d, en, out=nxt)      # d & en
+            np.bitwise_not(en, out=en)
+            np.bitwise_and(q, en, out=en)       # q & ~en
+            np.bitwise_or(nxt, en, out=nxt)
+            rst = vals.take(cc.flop_rst_rows, axis=0,
+                            out=self._fbuf_a)
+            np.bitwise_and(self._flop_init_words, rst,
+                           out=self._fbuf_b)    # init & rst
+            np.bitwise_not(rst, out=rst)
+            np.bitwise_and(nxt, rst, out=nxt)
+            np.bitwise_or(nxt, self._fbuf_b, out=nxt)
+            self._state_alt = q
+            self._flop_state = nxt
+        for mi in range(len(self.circuit.memories)):
+            self._mem_cycle(mi)
+        self.cycle += 1
+
+    def _begin_cycle_events(self) -> None:
+        flips = self._flop_flips.get(self.cycle)
+        if flips:
+            for idx, mask in flips:
+                self._flop_state[idx] ^= mask
+        mflips = self._mem_flips.get(self.cycle)
+        if mflips:
+            for mi, word, bit, mask in mflips:
+                self._mem_store[mi][word, :, bit] ^= mask
+
+    def step(self, inputs=None) -> None:
+        self.step_eval(inputs)
+        self.step_commit()
+
+    def step_eval(self, inputs=None) -> None:
+        if self.cycle_budget is not None and \
+                self.cycle >= self.cycle_budget:
+            raise CycleBudgetExceeded(
+                f"simulation of {self.circuit.name!r} exceeded its "
+                f"cycle budget of {self.cycle_budget} cycle(s)")
+        if inputs:
+            for name, value in inputs.items():
+                self.set_input(name, value)
+        self._begin_cycle_events()
+        self.eval_comb()
+
+    def step_commit(self) -> None:
+        self.clock_edge()
+
+    # ------------------------------------------------------------------
+    # memory engine
+    # ------------------------------------------------------------------
+    def _mem_cycle(self, mi: int) -> None:
+        cc = self.compiled
+        mem = self.circuit.memories[mi]
+        vals = self._vals
+        store = self._mem_store[mi]
+        addr_rows = vals[cc.mem_addr_rows[mi]]      # (A, W)
+        we = vals[cc.mem_we_rows[mi]]               # (W,)
+        full = self._full
+
+        # golden address + lanes-that-diverge words, in one sweep: a
+        # lane agrees with machine 0 iff every address row matches the
+        # golden bit broadcast
+        b0 = addr_rows[:, 0] & _U64(1)              # (A,)
+        mism = np.bitwise_or.reduce(
+            addr_rows ^ b0[:, None] * full, axis=0)  # (W,)
+        addr = int(b0.astype(np.int64) @ self._mem_pow2[mi]) \
+            % mem.depth
+
+        if not mism.any():
+            uniform = True
+            word = store[addr]                      # (W, width) view
+            rdata = word.copy()
+            if we.any():
+                # wdata rows are (width, W); the store is transposed
+                wdata = vals[cc.mem_wdata_rows[mi]].T
+                word &= ~we[:, None]
+                word |= wdata & we[:, None]
+        else:
+            uniform = False
+            rdata = self._mem_cycle_divergent(mi, mem, addr_rows, we,
+                                              mism, addr)
+            addr = None
+
+        stuck = self._mem_stuck.get(mi)
+        if stuck:
+            arrs = self._mem_stuck_cache.get(mi)
+            if arrs is None:
+                arrs = (np.asarray([k[0] for k in stuck],
+                                   dtype=np.intp),
+                        np.asarray([k[1] for k in stuck],
+                                   dtype=np.intp),
+                        np.stack([~c for c, _ in stuck.values()]),
+                        np.stack([s for _, s in stuck.values()]))
+                self._mem_stuck_cache[mi] = arrs
+            sw, sb, nclear, sset = arrs
+            cells = store[sw, :, sb]                # (S, W) copy
+            np.bitwise_and(cells, nclear, out=cells)
+            np.bitwise_or(cells, sset, out=cells)
+            store[sw, :, sb] = cells
+            if uniform:
+                # the interpreted engine patches read data only on the
+                # uniform path — replicated bit-for-bit
+                rsel = np.flatnonzero(sw == addr)
+                if rsel.size:
+                    cols = sb[rsel]
+                    rdata[:, cols] = ((rdata[:, cols].T
+                                       & nclear[rsel])
+                                      | sset[rsel]).T
+
+        self._mem_rdata[mi] = rdata
+
+    def _mem_cycle_divergent(self, mi, mem, addr_rows, we,
+                             mism, addr_g):
+        """Per-machine addressing: a golden-address base read/write
+        plus a scatter patch restricted to the (usually few) lanes
+        whose address actually diverges from machine 0's.
+
+        All reads are gathered before any write lands; lane isolation
+        makes the interpreted per-machine loop order-independent, so
+        this is bit-equivalent."""
+        store = self._mem_store[mi]
+        vals = self._vals
+        w_of = self._lane_word                      # (M,) intp
+        s_of = self._lane_shift                     # (M,) uint64
+        one = _U64(1)
+
+        dsel = np.flatnonzero((mism[w_of] >> s_of) & one)
+        wD = w_of[dsel]
+        sD = s_of[dsel]
+        bits = (addr_rows[:, wD] >> sD[None, :]) & one    # (A, D)
+        addrs = (self._mem_pow2[mi] @ bits.astype(np.int64)) \
+            % mem.depth
+
+        rdata = store[addr_g].copy()                # (W, width)
+        cells = store[addrs, wD]                    # (D, width)
+        contrib = ((cells >> sD[:, None]) & one) << sD[:, None]
+        np.bitwise_and(rdata, ~mism[:, None], out=rdata)
+        # dsel ascends, so wD is sorted: per-word OR-pack is segmented
+        smask = np.empty(wD.shape[0], dtype=bool)
+        smask[0] = True
+        np.not_equal(wD[1:], wD[:-1], out=smask[1:])
+        starts = np.flatnonzero(smask)
+        rdata[wD[starts]] |= np.bitwise_or.reduceat(
+            contrib, starts, axis=0)
+
+        wdata = vals[self.compiled.mem_wdata_rows[mi]]  # (width, W)
+        uw = we & ~mism                             # uniform writers
+        if uw.any():
+            word = store[addr_g]
+            word &= ~uw[:, None]
+            word |= wdata.T & uw[:, None]
+
+        webits = ((we[wD] >> sD) & one).astype(bool)
+        if webits.any():
+            sel = np.nonzero(webits)[0]
+            aw = addrs[sel]
+            ww = wD[sel]
+            ss = sD[sel]
+            lane = (one << ss)[:, None]              # (K, 1)
+            wd = ((wdata.T[ww] >> ss[:, None]) & one) << ss[:, None]
+            # group writers hitting the same (word, lane-word) cell so
+            # the read-modify-write can use unique fancy indices
+            key = ww * np.int64(mem.depth) + aw
+            order = np.argsort(key, kind="stable")
+            sorted_key = key[order]
+            kmask = np.empty(sorted_key.shape[0], dtype=bool)
+            kmask[0] = True
+            np.not_equal(sorted_key[1:], sorted_key[:-1],
+                         out=kmask[1:])
+            kstarts = np.flatnonzero(kmask)
+            clear = np.bitwise_or.reduceat(lane[order], kstarts, axis=0)
+            setm = np.bitwise_or.reduceat(wd[order], kstarts, axis=0)
+            aw_u = aw[order][kstarts]
+            ww_u = ww[order][kstarts]
+            cell = store[aw_u, ww_u]
+            np.bitwise_and(cell, ~clear, out=cell)
+            np.bitwise_or(cell, setm, out=cell)
+            store[aw_u, ww_u] = cell
+        return rdata
+
+    # ------------------------------------------------------------------
+    # toggle coverage (same views as the interpreted simulator)
+    # ------------------------------------------------------------------
+    @property
+    def _seen0(self) -> bytearray:
+        return bytearray(
+            self._t_seen0[self.compiled.perm[:self.compiled.num_nets]]
+            .astype(np.uint8).tobytes())
+
+    @property
+    def _seen1(self) -> bytearray:
+        return bytearray(
+            self._t_seen1[self.compiled.perm[:self.compiled.num_nets]]
+            .astype(np.uint8).tobytes())
+
+    def toggle_report(self) -> tuple[int, int]:
+        total = 0
+        both = 0
+        const_nets = {g.out for g in self.circuit.gates
+                      if g.op in (OP_CONST0, OP_CONST1)}
+        seen0, seen1 = self._seen0, self._seen1
+        for net in range(self.circuit.num_nets):
+            if net in const_nets:
+                continue
+            total += 1
+            if seen0[net] and seen1[net]:
+                both += 1
+        return both, total
+
+    def toggle_coverage(self) -> float:
+        both, total = self.toggle_report()
+        return both / total if total else 1.0
+
+    def untoggled_nets(self) -> list[str]:
+        const_nets = {g.out for g in self.circuit.gates
+                      if g.op in (OP_CONST0, OP_CONST1)}
+        seen0, seen1 = self._seen0, self._seen1
+        names = []
+        for net in range(self.circuit.num_nets):
+            if net in const_nets:
+                continue
+            if not (seen0[net] and seen1[net]):
+                names.append(self.circuit.net_names[net])
+        return names

@@ -269,7 +269,7 @@ class CampaignCache:
     def _simulate_chunked(self, manager, faults, plan, merged, result,
                           progress=None, progress_base=0,
                           progress_total=0) -> None:
-        chunk = max(1, manager.config.machines_per_pass) \
+        chunk = manager.config.resolved_machines_per_pass() \
             * self.flush_passes
         done = progress_base
         for lo in range(0, len(plan.misses), chunk):

@@ -1,0 +1,375 @@
+"""Differential fuzzing: the compiled bit-parallel kernel vs the
+interpreted big-int oracle.
+
+The compiled engine (:mod:`repro.hdl.compiled`) re-implements the whole
+simulation semantics — levelization, lane packing, fault overlays, the
+divergent-address memory path — so every behavior it has is checked
+against the interpreted :class:`~repro.hdl.Simulator` on the same
+inputs, bit for bit:
+
+* hundreds of fuzzed random netlists (random gate mix, fan-out,
+  flop/memory placement) swept cycle-by-cycle under random fault loads,
+  comparing every net, every flop, and every memory word;
+* full campaigns on the fmem subsystem and the mini CPU, comparing the
+  per-fault records, outcome tallies, DC and SFF between engines;
+* the sharded parallel runner at 1, 2, and 4 workers against the
+  interpreted serial reference;
+* the automatic fallback path (a batch containing a fault kind the
+  kernel does not model) against a pure interpreted run.
+"""
+
+import random
+
+import pytest
+
+from repro.faultinjection import (
+    BridgeFault,
+    CampaignConfig,
+    CandidateList,
+    ENGINE_COMPILED,
+    ENGINE_INTERPRETED,
+    FaultInjectionManager,
+    MemFlipFault,
+    MemStuckFault,
+    SetFault,
+    SeuFault,
+    StuckNetFault,
+    build_environment,
+)
+from repro.faultinjection.parallel import (
+    CampaignSpec,
+    ParallelCampaignRunner,
+)
+from repro.hdl import CompiledSimulator, Module, Simulator, \
+    compile_circuit
+from repro.soc import MemorySubsystem, SubsystemConfig
+from repro.soc.minicpu import CpuConfig, MiniCpu, assemble
+from repro.zones.model import ObservationKind, ObservationPoint
+
+# lane-boundary machine counts (single word, exactly full word, word
+# + 1) plus small ones — cycled across fuzz seeds
+MACHINE_SWEEP = (2, 9, 48, 63, 64, 65)
+
+
+def fuzz_circuit(seed: int):
+    """A random design: gate mix, fan-out, flops, sometimes a memory."""
+    rng = random.Random(seed)
+    m = Module(f"fuzz{seed}")
+    pool = []
+    for i in range(3):
+        pool.extend(m.input(f"in{i}", 2))
+    rst = m.input("rst")
+    n_ops = rng.randrange(12, 36)
+    for _ in range(n_ops):
+        op = rng.randrange(8)
+        a = rng.choice(pool)
+        b = rng.choice(pool)
+        if op == 0:
+            pool.append(a & b)
+        elif op == 1:
+            pool.append(a | b)
+        elif op == 2:
+            pool.append(a ^ b)
+        elif op == 3:
+            pool.append(~a)
+        elif op == 4:
+            pool.append(m.mux(rng.choice(pool), a, b))
+        elif op == 5:
+            pool.append(a.nand(b))
+        elif op == 6:
+            pool.append(a.nor(b))
+        else:
+            pool.append(a.xnor(b))
+    n_regs = rng.randrange(2, 6)
+    regs = []
+    for r in range(n_regs):
+        en = rng.choice(pool) if rng.random() < 0.5 else None
+        use_rst = rst if rng.random() < 0.5 else None
+        q = m.reg(f"r{r}", rng.choice(pool), en=en, rst=use_rst,
+                  init=rng.getrandbits(1))
+        regs.append(q)
+        pool.append(q)
+    if rng.random() < 0.6:
+        addr = m.cat(*(rng.choice(pool) for _ in range(3)))
+        wdata = m.cat(*(rng.choice(pool) for _ in range(4)))
+        we = rng.choice(pool)
+        rdata = m.memory("fmem", 8, 4, addr, wdata, we)
+        pool.extend(rdata)
+    out = pool[-1]
+    for q in regs:
+        out = out ^ q
+    m.output("y", out)
+    m.output("z", m.cat(*(rng.choice(pool) for _ in range(3))))
+    return m.build()
+
+
+def _arm_random_faults(rng, circuit, sims, machines):
+    """The same random fault load armed on every sim in ``sims``."""
+    nets = list(range(circuit.num_nets))
+    flops = list(range(len(circuit.flops)))
+    mem = circuit.memories[0] if circuit.memories else None
+    for k in range(1, machines):
+        kind = rng.randrange(5 if mem is not None else 3)
+        mask = 1 << k
+        if kind == 0:
+            n, v = rng.choice(nets), rng.getrandbits(1)
+            for s in sims:
+                s.stick_net(n, v, machines=mask)
+        elif kind == 1 and flops:
+            f, cyc = rng.choice(flops), rng.randrange(6)
+            for s in sims:
+                s.schedule_flop_flip(f, cyc, machines=mask)
+        elif kind == 2:
+            n, cyc = rng.choice(nets), rng.randrange(6)
+            for s in sims:
+                s.schedule_net_glitch(n, cyc, machines=mask)
+        elif kind == 3:
+            w, b = rng.randrange(mem.depth), rng.randrange(mem.width)
+            cyc = rng.randrange(6)
+            for s in sims:
+                s.schedule_mem_flip(mem.name, w, b, cyc,
+                                    machines=mask)
+        else:
+            w, b = rng.randrange(mem.depth), rng.randrange(mem.width)
+            v = rng.getrandbits(1)
+            for s in sims:
+                s.set_mem_cell_stuck(mem.name, w, b, v,
+                                     machines=mask)
+
+
+def _sweep_and_compare(circuit, seed, machines, cycles=8):
+    """Run both engines under one fault load; any divergence fails."""
+    rng = random.Random(seed * 7919 + machines)
+    isim = Simulator(circuit, machines=machines)
+    csim = CompiledSimulator(compile_circuit(circuit),
+                            machines=machines)
+    _arm_random_faults(rng, circuit, (isim, csim), machines)
+
+    widths = {n: len(bits) for n, bits in circuit.inputs.items()}
+    full = (1 << machines) - 1
+    for cyc in range(cycles):
+        stim = {n: rng.getrandbits(w) for n, w in widths.items()}
+        isim.step_eval(stim)
+        csim.step_eval(stim)
+        for n in range(circuit.num_nets):
+            assert (isim.peek(n) & full) == csim.peek(n), \
+                (seed, machines, cyc, n)
+        isim.step_commit()
+        csim.step_commit()
+        for i in range(len(circuit.flops)):
+            assert (isim._flop_state[i] & full) == \
+                csim._unpack(csim._flop_state[i]), \
+                (seed, machines, cyc, i)
+    for mem in circuit.memories:
+        for w in range(mem.depth):
+            for mch in range(machines):
+                assert isim.read_mem_word(mem.name, w, machine=mch) \
+                    == csim.read_mem_word(mem.name, w, machine=mch), \
+                    (seed, machines, mem.name, w, mch)
+
+
+def test_fuzzed_circuits_bit_identical():
+    """>=200 fuzzed netlists, every net/flop/mem word, every cycle."""
+    for seed in range(200):
+        circuit = fuzz_circuit(seed)
+        machines = MACHINE_SWEEP[seed % len(MACHINE_SWEEP)]
+        _sweep_and_compare(circuit, seed, machines)
+
+
+def test_fuzzed_lane_boundaries_dense():
+    """Extra lane-boundary passes (63/64/65) on a fixed circuit set."""
+    for seed in (3, 17, 42):
+        circuit = fuzz_circuit(seed)
+        for machines in (63, 64, 65):
+            _sweep_and_compare(circuit, seed, machines, cycles=12)
+
+
+# ----------------------------------------------------------------------
+# mini campaigns on fuzzed circuits
+# ----------------------------------------------------------------------
+def _fuzz_campaign_pieces(seed):
+    """(circuit, stimuli, observation points, fault list) for one seed."""
+    rng = random.Random(seed + 31337)
+    circuit = fuzz_circuit(seed)
+    points = [
+        ObservationPoint(name="y", kind=ObservationKind.OUTPUT,
+                         nets=tuple(circuit.outputs["y"])),
+        ObservationPoint(name="z", kind=ObservationKind.FUNCTION,
+                         nets=tuple(circuit.outputs["z"])),
+        ObservationPoint(name="alarm", kind=ObservationKind.ALARM,
+                         nets=(rng.randrange(circuit.num_nets),)),
+    ]
+    widths = {n: len(b) for n, b in circuit.inputs.items()}
+    stimuli = [{n: rng.getrandbits(w) for n, w in widths.items()}
+               for _ in range(10)]
+    nets = list(range(circuit.num_nets))
+    flops = [f.name for f in circuit.flops]
+    mem = circuit.memories[0] if circuit.memories else None
+    faults = []
+    for _ in range(rng.randrange(5, 20)):
+        kind = rng.randrange(4 if mem is not None else 3)
+        if kind == 0:
+            faults.append(StuckNetFault(target=rng.choice(nets),
+                                        value=rng.getrandbits(1)))
+        elif kind == 1 and flops:
+            faults.append(SeuFault(target=rng.choice(flops),
+                                   offset=rng.randrange(8)))
+        elif kind == 2:
+            faults.append(SetFault(target=rng.choice(nets),
+                                   offset=rng.randrange(8)))
+        elif rng.random() < 0.5:
+            faults.append(MemFlipFault(target=mem.name,
+                                       word=rng.randrange(mem.depth),
+                                       bit=rng.randrange(mem.width),
+                                       offset=rng.randrange(8)))
+        else:
+            faults.append(MemStuckFault(target=mem.name,
+                                        word=rng.randrange(mem.depth),
+                                        bit=rng.randrange(mem.width),
+                                        value=rng.getrandbits(1)))
+    return circuit, stimuli, points, faults
+
+
+def _fault_records(result):
+    return [(r.fault.name, r.sens_cycle, r.obse_cycle, r.diag_cycle,
+             r.first_alarm, r.effects) for r in result.results]
+
+
+def _run_engine(circuit, stimuli, points, faults, engine,
+                machines_per_pass=None):
+    manager = FaultInjectionManager(
+        circuit, stimuli, observation_points=points,
+        config=CampaignConfig(engine=engine,
+                              machines_per_pass=machines_per_pass))
+    return manager.run(CandidateList(faults=faults))
+
+
+def test_fuzzed_mini_campaigns_engines_identical():
+    """Whole campaigns on fuzzed circuits: identical records + rates."""
+    for seed in range(40):
+        circuit, stimuli, points, faults = _fuzz_campaign_pieces(seed)
+        ri = _run_engine(circuit, stimuli, points, faults,
+                         ENGINE_INTERPRETED)
+        rc = _run_engine(circuit, stimuli, points, faults,
+                         ENGINE_COMPILED)
+        assert _fault_records(ri) == _fault_records(rc), seed
+        assert ri.outcomes() == rc.outcomes(), seed
+        assert ri.measured_dc() == rc.measured_dc(), seed
+        assert ri.measured_safe_fraction() == \
+            rc.measured_safe_fraction(), seed
+
+
+def test_fuzzed_campaign_pass_boundaries():
+    """Identical results when faults split across passes differently."""
+    circuit, stimuli, points, faults = _fuzz_campaign_pieces(7)
+    baseline = _run_engine(circuit, stimuli, points, faults,
+                           ENGINE_INTERPRETED)
+    for per_pass in (1, 3, 63, 64, 65):
+        rc = _run_engine(circuit, stimuli, points, faults,
+                         ENGINE_COMPILED, machines_per_pass=per_pass)
+        assert _fault_records(rc) == _fault_records(baseline), per_pass
+
+
+def test_unsupported_kind_falls_back_identically():
+    """A bridge fault in the batch reroutes the whole pass to the
+    interpreted engine; the mixed run equals a pure interpreted one."""
+    circuit, stimuli, points, faults = _fuzz_campaign_pieces(11)
+    a, b = 2, circuit.num_nets - 3
+    faults = faults[:6] + [BridgeFault(target=a, victim=b)]
+    ri = _run_engine(circuit, stimuli, points, faults,
+                     ENGINE_INTERPRETED)
+    rc = _run_engine(circuit, stimuli, points, faults,
+                     ENGINE_COMPILED)
+    assert _fault_records(ri) == _fault_records(rc)
+    assert ri.outcomes() == rc.outcomes()
+
+
+# ----------------------------------------------------------------------
+# real designs: fmem subsystem + mini CPU
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fmem_env():
+    return build_environment(
+        MemorySubsystem(SubsystemConfig.small_improved()), quick=True)
+
+
+def test_fmem_campaign_engines_identical(fmem_env):
+    candidates = fmem_env.candidates()
+    ri = fmem_env.manager(
+        CampaignConfig(engine=ENGINE_INTERPRETED)).run(candidates)
+    rc = fmem_env.manager(
+        CampaignConfig(engine=ENGINE_COMPILED)).run(candidates)
+    assert _fault_records(ri) == _fault_records(rc)
+    assert ri.outcomes() == rc.outcomes()
+    assert ri.measured_dc() == rc.measured_dc()
+    assert ri.measured_safe_fraction() == rc.measured_safe_fraction()
+    assert ri.coverage.sens == rc.coverage.sens
+    assert ri.coverage.obse == rc.coverage.obse
+    assert ri.coverage.diag == rc.coverage.diag
+
+
+def test_minicpu_campaign_engines_identical():
+    cpu = MiniCpu(CpuConfig.lockstep_pair())
+    circuit = cpu.circuit
+    prog = [("ldi", 5), ("st", 0), ("ldi", 3), ("add", 0), ("out",),
+            ("ldi", 0), ("jnz", 0), ("out",)]
+    stimuli = [cpu.idle(rst=1)] * 2 + [cpu.idle()] * 40
+    points = [
+        ObservationPoint(name="out", kind=ObservationKind.OUTPUT,
+                         nets=tuple(circuit.outputs["out_port"])
+                         + tuple(circuit.outputs["out_valid"])),
+        ObservationPoint(name="lockstep",
+                         kind=ObservationKind.ALARM,
+                         nets=tuple(
+                             circuit.outputs["alarm_lockstep"])),
+    ]
+    rng = random.Random(99)
+    flops = [f.name for f in circuit.flops]
+    ram = next(m for m in circuit.memories if "ram" in m.name)
+    faults = [SeuFault(target=rng.choice(flops),
+                       offset=rng.randrange(30)) for _ in range(25)]
+    faults += [StuckNetFault(target=rng.randrange(circuit.num_nets),
+                             value=rng.getrandbits(1))
+               for _ in range(25)]
+    faults += [MemFlipFault(target=ram.name,
+                            word=rng.randrange(ram.depth),
+                            bit=rng.randrange(ram.width),
+                            offset=rng.randrange(30))
+               for _ in range(10)]
+
+    def setup(sim):
+        sim.load_mem("imem/rom", assemble(prog))
+
+    def run(engine):
+        manager = FaultInjectionManager(
+            circuit, stimuli, observation_points=points, setup=setup,
+            config=CampaignConfig(engine=engine))
+        return manager.run(CandidateList(faults=faults))
+
+    ri = run(ENGINE_INTERPRETED)
+    rc = run(ENGINE_COMPILED)
+    assert _fault_records(ri) == _fault_records(rc)
+    assert ri.outcomes() == rc.outcomes()
+    assert ri.measured_dc() == rc.measured_dc()
+
+
+# ----------------------------------------------------------------------
+# sharded parallel runner, both engines
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_sharded_campaign_engines_identical(fmem_env, workers):
+    """DC/SFF and outcome tallies are engine- and worker-invariant."""
+    candidates = fmem_env.candidates()
+    reference = fmem_env.manager(
+        CampaignConfig(engine=ENGINE_INTERPRETED)).run(candidates)
+
+    spec = CampaignSpec.from_environment(
+        fmem_env, config=CampaignConfig(engine=ENGINE_COMPILED))
+    runner = ParallelCampaignRunner(spec, workers=workers)
+    sharded = runner.run(candidates)
+
+    assert _fault_records(sharded) == _fault_records(reference)
+    assert sharded.outcomes() == reference.outcomes()
+    assert sharded.measured_dc() == reference.measured_dc()
+    assert sharded.measured_safe_fraction() == \
+        reference.measured_safe_fraction()

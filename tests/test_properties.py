@@ -13,7 +13,8 @@ from repro.fmea import (
     build_worksheet,
     combine_coverage,
 )
-from repro.hdl import Module, Simulator
+from repro.hdl import CompiledSimulator, Module, Simulator, \
+    compile_circuit
 from repro.iec61508 import FailureRates
 from repro.soc import MemorySubsystem, SubsystemConfig
 from repro.zones import ZoneKind, extract_zones, predict_effects_table
@@ -258,3 +259,62 @@ def test_shard_merge_order_independent_of_worker_count(n):
 def test_sharding_rejects_nonpositive_counts():
     with pytest.raises(ValueError):
         shard_candidates(_numbered_faults(3), 0)
+
+
+# ----------------------------------------------------------------------
+# lane-width invariants: 63 / 64 / 65 machines
+# ----------------------------------------------------------------------
+# The compiled engine packs machines into uint64 lanes; 63, 64 and 65
+# bracket the word boundary (last bit of one word, exactly one word,
+# first bit of the next word).  Both engines must agree regardless of
+# where the faulty machine lands relative to that boundary.
+def _lane_circuit():
+    m = Module("lane")
+    a = m.input("a", 4)
+    b = m.input("b", 4)
+    q = m.reg("r", a ^ b, rst=m.input("rst", 1)[0])
+    m.output("y", q & a)
+    m.output("z", q.nor(a))
+    return m.build()
+
+
+@pytest.mark.parametrize("machines", [63, 64, 65])
+def test_lane_width_engines_bit_identical(machines):
+    circuit = _lane_circuit()
+    isim = Simulator(circuit, machines=machines)
+    csim = CompiledSimulator(compile_circuit(circuit),
+                             machines=machines)
+    full = (1 << machines) - 1
+    victim = circuit.inputs["a"][0]
+    # fault the top machine (straddles the word boundary at 65) and
+    # machine 1 (always in word 0)
+    for sim in (isim, csim):
+        sim.stick_net(victim, 1, machines=1 << (machines - 1))
+        sim.stick_net(circuit.inputs["b"][1], 0, machines=1 << 1)
+    for cyc in range(6):
+        stim = {"a": (3 * cyc) % 16, "b": (7 - cyc) % 16,
+                "rst": 1 if cyc == 0 else 0}
+        isim.step_eval(stim)
+        csim.step_eval(stim)
+        for net in range(circuit.num_nets):
+            assert (isim.peek(net) & full) == csim.peek(net), \
+                (machines, cyc, net)
+        isim.step_commit()
+        csim.step_commit()
+
+
+@pytest.mark.parametrize("machines", [63, 64, 65])
+def test_lane_width_mismatch_confined_to_faulty_machine(machines):
+    """A fault armed on machine m can only ever raise mismatch bits of
+    machine m — no leakage across the uint64 word boundary."""
+    circuit = _lane_circuit()
+    nets = list(range(circuit.num_nets))
+    for m in (1, machines - 1):
+        for sim in (Simulator(circuit, machines=machines),
+                    CompiledSimulator(compile_circuit(circuit),
+                                      machines=machines)):
+            sim.stick_net(circuit.inputs["a"][2], 1, machines=1 << m)
+            for cyc in range(4):
+                sim.step({"a": 0, "b": 5, "rst": 1 if cyc == 0 else 0})
+                assert sim.mismatch_mask(nets) & ~(1 << m) == 0, \
+                    (machines, m, cyc)
