@@ -26,28 +26,23 @@ from .soc.config import SubsystemConfig
 from .soc.subsystem import MemorySubsystem
 
 
-#: default campaign-store directory; overridable per invocation with
-#: ``--store`` or globally with the ``SOCFMEA_STORE`` environment
-#: variable
-DEFAULT_STORE = ".socfmea_store"
-
-#: consolidated exit-code taxonomy (see docs/methodology.md §4e):
-#: 0 — success; 1 — operational failure (aborted campaign, internal
-#: error); 2 — coded diagnostics were reported (bad input, usage);
-#: 3 — completed, but the evidence is bounded (quarantined faults or
-#: degraded-mode skipped zones)
-EXIT_OK = 0
-EXIT_FAILURE = 1
-EXIT_DIAGNOSTIC = 2
-EXIT_QUARANTINE = 3
+#: exit-code taxonomy and store-path resolution live with the
+#: service core (docs/methodology.md §4e/§4g); re-exported here for
+#: backward compatibility
+from .service.core import (  # noqa: E402 — after the header imports
+    DEFAULT_STORE,
+    EXIT_DIAGNOSTIC,
+    EXIT_FAILURE,
+    EXIT_OK,
+    EXIT_QUARANTINE,
+    make_subsystem,
+    resolve_store_root,
+)
 
 
 def resolve_store_path(args) -> str:
     """``--store`` beats ``$SOCFMEA_STORE`` beats the default."""
-    path = getattr(args, "store", None)
-    if path:
-        return path
-    return os.environ.get("SOCFMEA_STORE") or DEFAULT_STORE
+    return resolve_store_root(getattr(args, "store", None))
 
 
 def _open_store(args):
@@ -56,13 +51,7 @@ def _open_store(args):
 
 
 def _make_subsystem(args) -> MemorySubsystem:
-    factory = {
-        "baseline": SubsystemConfig.baseline,
-        "improved": SubsystemConfig.improved,
-        "small-baseline": SubsystemConfig.small_baseline,
-        "small-improved": SubsystemConfig.small_improved,
-    }[args.variant]
-    return MemorySubsystem(factory())
+    return make_subsystem(args.variant)
 
 
 def cmd_zones(args) -> int:
@@ -198,153 +187,116 @@ def cmd_dossier(args) -> int:
 
 
 def cmd_campaign(args) -> int:
-    """Run the zone fault-injection campaign, optionally sharded."""
-    from .faultinjection import build_environment, randomize
-    from .faultinjection.environment import (
-        StimuliValidationError,
-        validate_stimuli,
-    )
-    from .faultinjection.manager import CampaignConfig
-    from .faultinjection.parallel import (
-        CampaignSpec,
-        ParallelCampaignRunner,
-    )
-    from .faultinjection.supervisor import (
-        CampaignAborted,
-        CampaignSupervisor,
-        SupervisorConfig,
-    )
-    if args.workers < 1:
-        print("error: --workers must be at least 1", file=sys.stderr)
-        return 2
-    if args.max_retries < 0:
-        print("error: --max-retries must be >= 0", file=sys.stderr)
-        return 2
-    sub = _make_subsystem(args)
-    env = build_environment(sub, quick=not args.full)
+    """Run the zone fault-injection campaign, optionally sharded.
 
-    if args.stimuli:
-        from .diagnostics import DiagnosticReport
-        from .faultinjection.environment import (
-            load_stimuli,
-            validate_stimuli_report,
-        )
-        sreport = DiagnosticReport()
-        cycles = load_stimuli(args.stimuli, report=sreport)
-        if cycles is not None:
-            validate_stimuli_report(env.circuit, cycles, sreport,
-                                    source=args.stimuli)
-        if not sreport.ok:
-            print(sreport.render(title="stimuli"), file=sys.stderr)
-            return EXIT_DIAGNOSTIC
-        env.stimuli = cycles
-    try:
-        validate_stimuli(env.circuit, env.stimuli)
-    except StimuliValidationError as err:
-        print(f"error: invalid stimuli for {sub.cfg.name}:\n{err}",
-              file=sys.stderr)
-        return EXIT_DIAGNOSTIC
-
-    skipped_zones: list[str] = []
-    if args.zones:
-        from .diagnostics import DiagnosticReport
-        from .zones.io import load_zone_config, resolve_zone_config
-        zreport = DiagnosticReport()
-        data = load_zone_config(args.zones, report=zreport)
-        if data is None:
-            print(zreport.render(title="zone config"),
-                  file=sys.stderr)
-            return EXIT_DIAGNOSTIC
-        resolution = resolve_zone_config(
-            data, env.zone_set, env.circuit, zreport,
-            source=args.zones)
-        if not zreport.ok and not args.degraded:
-            print(zreport.render(title="zone config"),
-                  file=sys.stderr)
-            print("(strict mode: pass --degraded to run the "
-                  "resolvable zones and bound the metrics)",
-                  file=sys.stderr)
-            return EXIT_DIAGNOSTIC
-        if zreport.diagnostics:
-            print(zreport.render(title="zone config"),
-                  file=sys.stderr)
-        selected = set(resolution.selected)
-        skipped_zones = list(resolution.skipped)
-        env.zone_set.zones = [z for z in env.zone_set.zones
-                              if z.name in selected]
-        if not env.zone_set.zones:
-            print("error: no configured zone resolved against the "
-                  "netlist — nothing to inject", file=sys.stderr)
-            return EXIT_DIAGNOSTIC
-
-    candidates = env.candidates()
-    if args.sample:
-        candidates = randomize(candidates, args.sample)
+    Thin shell over :class:`~repro.service.core.CampaignService` —
+    the same core the ``serve`` daemon executes queued jobs through —
+    printing its buffered output and propagating its exit code.
+    """
+    from .service.core import CampaignRequest, CampaignService
 
     progress = None
     if args.progress:
         def progress(done, total):
             print(f"  {done}/{total} faults simulated", flush=True)
 
-    cache = None if args.no_cache else _open_store(args)
-    config = CampaignConfig(machines_per_pass=args.machines_per_pass,
-                            engine=args.engine)
-    spec = CampaignSpec.from_environment(env, config=config)
-    anomalies = []
-    health = None
-    if args.no_supervise:
-        runner = ParallelCampaignRunner(
-            spec, workers=args.workers, shards=args.shards,
-            progress=progress, cache=cache)
-        campaign = runner.run(candidates)
-    else:
-        runner = CampaignSupervisor(
-            spec, workers=args.workers, shards=args.shards,
-            progress=progress, cache=cache,
-            config=SupervisorConfig(
-                shard_timeout=args.shard_timeout,
-                cycle_budget=args.cycle_budget,
-                max_retries=args.max_retries,
-                quarantine=not args.no_quarantine))
-        try:
-            campaign = runner.run(candidates)
-        except CampaignAborted as err:
-            print(f"error: campaign aborted: {err}", file=sys.stderr)
-            if cache is not None:
-                cache.close()
-            return 1
-        anomalies = runner.anomalies
-        health = runner.last_stats.health \
-            if runner.last_stats is not None else None
+    service = CampaignService(resolve_store_path(args))
+    outcome = service.run_campaign(CampaignRequest.from_args(args),
+                                   progress=progress)
+    if outcome.out:
+        print(outcome.out)
+    if outcome.err:
+        print(outcome.err, file=sys.stderr)
+    return outcome.exit_code
 
-    counts = campaign.outcomes()
-    rows = [[name, count, pct(count / len(campaign.results))
-             if campaign.results else pct(0.0)]
-            for name, count in counts.items()]
-    print(render_table(["outcome", "faults", "fraction"], rows,
-                       title=f"=== campaign: {sub.cfg.name}, "
-                             f"{len(campaign.results)} faults ==="))
-    print(f"measured DC:            {pct(campaign.measured_dc())}")
-    print(f"measured safe fraction: "
-          f"{pct(campaign.measured_safe_fraction())}")
-    if runner.last_stats is not None:
-        print(runner.last_stats.summary())
-    if anomalies:
-        from .reporting.health import render_campaign_health
-        print(render_campaign_health(campaign, anomalies,
-                                     health=health))
-    if skipped_zones:
-        from .reporting.health import (
-            degraded_bounds,
-            render_degraded_health,
-        )
-        print(render_degraded_health(
-            degraded_bounds(campaign, skipped_zones)))
-    if cache is not None:
-        print(cache.stats.summary())
-        cache.close()
-    return (EXIT_QUARANTINE if anomalies or skipped_zones
-            else EXIT_OK)
+
+def cmd_serve(args) -> int:
+    """Run the campaign job-queue daemon (claim, execute, recover)."""
+    from .service.daemon import DaemonConfig, ServiceDaemon
+
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return EXIT_DIAGNOSTIC
+    if args.lease <= 0 or args.heartbeat_interval <= 0:
+        print("error: --lease and --heartbeat-interval must be "
+              "positive", file=sys.stderr)
+        return EXIT_DIAGNOSTIC
+    if args.heartbeat_interval >= args.lease:
+        print("error: --heartbeat-interval must be shorter than "
+              "--lease, or the lease expires between renewals",
+              file=sys.stderr)
+        return EXIT_DIAGNOSTIC
+    daemon = ServiceDaemon(resolve_store_path(args), DaemonConfig(
+        workers=args.workers, lease_seconds=args.lease,
+        heartbeat_interval=args.heartbeat_interval,
+        poll_interval=args.poll_interval, drain=args.drain,
+        verbose=not args.quiet))
+    return daemon.serve()
+
+
+def cmd_jobs(args) -> int:
+    """Submit and manage queued campaign jobs (executed by serve)."""
+    from .reporting.jobs import render_job_detail, render_job_table
+    from .service.core import CampaignRequest, CampaignService
+    from .service.queue import JOB_DEAD
+
+    service = CampaignService(
+        resolve_store_path(args),
+        project=getattr(args, "project", None) or "default")
+    cmd = args.jobs_command
+
+    if cmd == "submit":
+        if args.max_attempts is not None and args.max_attempts < 1:
+            print("error: --max-attempts must be at least 1",
+                  file=sys.stderr)
+            return EXIT_DIAGNOSTIC
+        job_id = service.submit(CampaignRequest.from_args(args),
+                                max_attempts=args.max_attempts)
+        print(f"queued job #{job_id} (project {service.project}) — "
+              f"execute with 'soc-fmea serve'")
+        return EXIT_OK
+
+    if cmd == "list":
+        jobs = service.list_jobs(status=args.status,
+                                 project=args.project)
+        if not jobs:
+            print("no jobs recorded")
+        else:
+            print(render_job_table(jobs))
+        with service.open_queue() as queue:
+            dead = queue.counts().get(JOB_DEAD, 0)
+        if dead:
+            print(f"{dead} dead-letter job(s) — inspect with "
+                  f"'soc-fmea jobs status <id>', fix the cause, then "
+                  f"'soc-fmea jobs retry <id>'", file=sys.stderr)
+            return EXIT_QUARANTINE
+        return EXIT_OK
+
+    job = service.status(args.job_id)
+    if job is None:
+        print(f"error: no job #{args.job_id}", file=sys.stderr)
+        return EXIT_FAILURE
+    if cmd == "status":
+        print(render_job_detail(job))
+        return EXIT_QUARANTINE if job.status == JOB_DEAD else EXIT_OK
+    if cmd == "cancel":
+        if not service.cancel(args.job_id):
+            print(f"error: job #{args.job_id} is {job.status} — only "
+                  f"queued, leased or running jobs can be cancelled",
+                  file=sys.stderr)
+            return EXIT_FAILURE
+        print(f"job #{args.job_id} cancelled")
+        return EXIT_OK
+    if cmd == "retry":
+        if not service.retry(args.job_id):
+            print(f"error: job #{args.job_id} is {job.status} — only "
+                  f"dead-letter or cancelled jobs can be retried",
+                  file=sys.stderr)
+            return EXIT_FAILURE
+        print(f"job #{args.job_id} re-queued with a fresh attempt "
+              f"budget")
+        return EXIT_OK
+    raise AssertionError(cmd)
 
 
 def cmd_doctor(args) -> int:
@@ -609,66 +561,157 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output")
     p.set_defaults(func=cmd_dossier)
 
+    def add_campaign_flags(p):
+        # shared by ``campaign`` and ``jobs submit`` — together these
+        # flags define one CampaignRequest (service/core.py)
+        add_variant(p)
+        p.add_argument(
+            "--workers", type=int, default=1,
+            help="worker processes (1 = in-process serial run)")
+        p.add_argument("--shards", type=int, default=None,
+                       help="shard count (default: one per worker)")
+        p.add_argument("--sample", type=int, default=None,
+                       help="randomly down-sample the fault list")
+        p.add_argument(
+            "--machines-per-pass", type=int, default=None,
+            help="faults batched per simulation pass (default: "
+                 "engine-specific, 1023 compiled / 48 interpreted)")
+        p.add_argument(
+            "--engine", choices=("compiled", "interpreted"),
+            default="compiled",
+            help="simulation kernel: the compiled numpy engine "
+                 "(falls back per pass when a construct is "
+                 "unsupported) or the big-int interpreter")
+        p.add_argument("--full", action="store_true",
+                       help="use the full (slow) campaign workload")
+        add_store(p)
+        p.add_argument("--no-cache", action="store_true",
+                       help="skip the campaign store: simulate every "
+                            "fault and record nothing")
+        p.add_argument(
+            "--shard-timeout", type=float, default=None,
+            metavar="SECONDS",
+            help="kill and retry a shard whose worker exceeds "
+                 "this wall-clock budget")
+        p.add_argument(
+            "--cycle-budget", type=int, default=None,
+            metavar="CYCLES",
+            help="per-pass simulator cycle watchdog: a runaway "
+                 "pass is quarantined as a hang")
+        p.add_argument(
+            "--max-retries", type=int, default=2,
+            help="failed-shard retries before bisecting to "
+                 "isolate the poison fault (default: 2)")
+        p.add_argument(
+            "--no-quarantine", action="store_true",
+            help="abort the campaign on an inexecutable fault "
+                 "instead of quarantining it")
+        p.add_argument(
+            "--no-supervise", action="store_true",
+            help="run the bare campaign engine without the "
+                 "fault-tolerant supervisor")
+        p.add_argument(
+            "--zones", metavar="FILE",
+            help="restrict the campaign to a zone-config "
+                 "file, cross-checked against the netlist")
+        p.add_argument(
+            "--stimuli", metavar="FILE",
+            help="drive the campaign with a stimuli file "
+                 "instead of the built-in workload")
+        strictness = p.add_mutually_exclusive_group()
+        strictness.add_argument(
+            "--strict", action="store_true",
+            help="abort with coded diagnostics when any configured "
+                 "zone fails to resolve (default)")
+        strictness.add_argument(
+            "--degraded", action="store_true",
+            help="skip unresolvable zones, run the rest, and bound "
+                 "DC/SFF for the lost evidence (exit 3)")
+
     p = sub.add_parser("campaign",
                        help="run the injection campaign "
                             "(optionally across worker processes)")
-    add_variant(p)
-    p.add_argument("--workers", type=int, default=1,
-                   help="worker processes (1 = in-process serial run)")
-    p.add_argument("--shards", type=int, default=None,
-                   help="shard count (default: one per worker)")
-    p.add_argument("--sample", type=int, default=None,
-                   help="randomly down-sample the fault list")
-    p.add_argument("--machines-per-pass", type=int, default=None,
-                   help="faults batched per simulation pass (default: "
-                        "engine-specific, 1023 compiled / 48 "
-                        "interpreted)")
-    p.add_argument("--engine", choices=("compiled", "interpreted"),
-                   default="compiled",
-                   help="simulation kernel: the compiled numpy engine "
-                        "(falls back per pass when a construct is "
-                        "unsupported) or the big-int interpreter")
-    p.add_argument("--full", action="store_true",
-                   help="use the full (slow) campaign workload")
+    add_campaign_flags(p)
     p.add_argument("--progress", action="store_true",
                    help="print per-shard progress lines")
-    add_store(p)
-    p.add_argument("--no-cache", action="store_true",
-                   help="skip the campaign store: simulate every "
-                        "fault and record nothing")
-    p.add_argument("--shard-timeout", type=float, default=None,
-                   metavar="SECONDS",
-                   help="kill and retry a shard whose worker exceeds "
-                        "this wall-clock budget")
-    p.add_argument("--cycle-budget", type=int, default=None,
-                   metavar="CYCLES",
-                   help="per-pass simulator cycle watchdog: a runaway "
-                        "pass is quarantined as a hang")
-    p.add_argument("--max-retries", type=int, default=2,
-                   help="failed-shard retries before bisecting to "
-                        "isolate the poison fault (default: 2)")
-    p.add_argument("--no-quarantine", action="store_true",
-                   help="abort the campaign on an inexecutable fault "
-                        "instead of quarantining it")
-    p.add_argument("--no-supervise", action="store_true",
-                   help="run the bare campaign engine without the "
-                        "fault-tolerant supervisor")
-    p.add_argument("--zones", metavar="FILE",
-                   help="restrict the campaign to a zone-config "
-                        "file, cross-checked against the netlist")
-    p.add_argument("--stimuli", metavar="FILE",
-                   help="drive the campaign with a stimuli file "
-                        "instead of the built-in workload")
-    strictness = p.add_mutually_exclusive_group()
-    strictness.add_argument(
-        "--strict", action="store_true",
-        help="abort with coded diagnostics when any configured zone "
-             "fails to resolve (default)")
-    strictness.add_argument(
-        "--degraded", action="store_true",
-        help="skip unresolvable zones, run the rest, and bound "
-             "DC/SFF for the lost evidence (exit 3)")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "serve", help="run the job-queue daemon: claim queued "
+                      "campaigns, execute them, recover leases of "
+                      "dead workers")
+    add_store(p)
+    p.add_argument("--workers", type=int, default=1,
+                   help="claim loops to run (N>1 forks child "
+                        "processes and replaces any that die)")
+    p.add_argument("--lease", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="job lease length granted on claim and "
+                        "renewed per heartbeat (default: 30)")
+    p.add_argument("--heartbeat-interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="how often a running job renews its lease "
+                        "(default: 1)")
+    p.add_argument("--poll-interval", type=float, default=0.5,
+                   metavar="SECONDS",
+                   help="idle sleep between claim attempts "
+                        "(default: 0.5)")
+    p.add_argument("--drain", action="store_true",
+                   help="exit once the queue holds no actionable "
+                        "work instead of serving forever")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-job lifecycle lines")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "jobs", help="submit and manage queued campaign jobs")
+    add_store(p)
+    jobs_sub = p.add_subparsers(dest="jobs_command", required=True)
+
+    sp = jobs_sub.add_parser(
+        "submit", help="queue a campaign for 'soc-fmea serve' "
+                       "(same flags as the campaign verb)")
+    add_campaign_flags(sp)
+    sp.add_argument("--project", default="default",
+                    help="store namespace the job's evidence lands "
+                         "in (default: default = the store root)")
+    sp.add_argument("--max-attempts", type=int, default=None,
+                    help="execution attempts before the job is "
+                         "dead-lettered (default: queue policy, 3)")
+    sp.set_defaults(func=cmd_jobs)
+
+    sp = jobs_sub.add_parser("status",
+                             help="one job in detail (exit 3 if it "
+                                  "is dead-lettered)")
+    add_store(sp)
+    sp.add_argument("job_id", type=int)
+    sp.set_defaults(func=cmd_jobs)
+
+    sp = jobs_sub.add_parser(
+        "list", help="list jobs (exit 3 while any dead-letter job "
+                     "exists)")
+    add_store(sp)
+    sp.add_argument("--status", default=None,
+                    choices=["queued", "leased", "running", "done",
+                             "dead", "cancelled"],
+                    help="only jobs in this state")
+    sp.add_argument("--project", default=None,
+                    help="only jobs of this project")
+    sp.set_defaults(func=cmd_jobs)
+
+    sp = jobs_sub.add_parser(
+        "cancel", help="cancel a queued or running job (a running "
+                       "worker abandons it at its next heartbeat)")
+    add_store(sp)
+    sp.add_argument("job_id", type=int)
+    sp.set_defaults(func=cmd_jobs)
+
+    sp = jobs_sub.add_parser(
+        "retry", help="re-queue a dead-letter or cancelled job with "
+                      "a fresh attempt budget")
+    add_store(sp)
+    sp.add_argument("job_id", type=int)
+    sp.set_defaults(func=cmd_jobs)
 
     p = sub.add_parser(
         "doctor", help="audit netlist + zones + worksheet + stimuli "

@@ -131,6 +131,21 @@ CODES: dict[str, tuple[str, str]] = {
     "E408": ("interrupted-run",
              "a run is still marked `running` — it was killed; "
              "re-running the campaign resumes and completes it"),
+    "E409": ("store-busy",
+             "another process held the store's write lock past the "
+             "retry budget; let the other campaign finish or point "
+             "this one at a different --store"),
+    "E410": ("stale-job-lease",
+             "a job's lease deadline passed without a heartbeat — "
+             "its worker died; any `soc-fmea serve` re-claims it, or "
+             "`store fsck --repair` releases it back to the queue"),
+    "E411": ("orphan-job-row",
+             "a job references a campaign run the store no longer "
+             "records; `store fsck --repair` clears the reference"),
+    "E412": ("dead-letter-evidence-gone",
+             "a dead-letter job's recorded run was garbage-collected; "
+             "`store fsck --repair` deletes the job row — re-submit "
+             "if the campaign is still wanted"),
 }
 
 

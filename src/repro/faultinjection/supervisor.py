@@ -112,6 +112,13 @@ class SupervisorConfig:
     #: supervisor poll tick: deadline granularity and the latency of
     #: noticing a finished shard
     poll_interval: float = 0.05
+    #: optional liveness callback (e.g. a job-queue lease renewal)
+    #: invoked from the supervision loop at most every
+    #: ``heartbeat_interval`` seconds; an exception it raises aborts
+    #: the campaign (active workers are killed) — exactly what a
+    #: worker whose lease was lost must do
+    heartbeat: object | None = None
+    heartbeat_interval: float = 1.0
 
 
 @dataclass
@@ -285,6 +292,8 @@ class CampaignSupervisor:
         self._attempt_log: list[tuple] = []
         self._shard_seq = 0
         self._total = len(faults)
+        self._last_beat = 0.0
+        self._beat()
 
         result = manager.new_result()
         self._result = result
@@ -400,6 +409,15 @@ class CampaignSupervisor:
     def _done_count(self) -> int:
         return len(self._merged) + len(self._quarantined)
 
+    def _beat(self) -> None:
+        """Invoke the configured liveness callback, throttled."""
+        if self.config.heartbeat is None:
+            return
+        now = time.time()
+        if now - self._last_beat >= self.config.heartbeat_interval:
+            self._last_beat = now
+            self.config.heartbeat()
+
     # ------------------------------------------------------------------
     # the supervised execution loop
     # ------------------------------------------------------------------
@@ -415,6 +433,7 @@ class CampaignSupervisor:
 
         try:
             while pending or active:
+                self._beat()
                 now = time.time()
                 # launch ready work onto free workers
                 while (not self._degraded and pending
@@ -434,8 +453,11 @@ class CampaignSupervisor:
                     self._golden_early = task()
 
                 if self._degraded and not active:
-                    while pending:
-                        self._run_in_process(pending, pending.popleft())
+                    # one shard per tick so the heartbeat keeps firing
+                    # between in-process shard runs
+                    if pending:
+                        self._run_in_process(pending,
+                                             pending.popleft())
                     continue
 
                 if not active:

@@ -11,9 +11,13 @@ from .health import (
     render_degraded_health,
 )
 from .rundiff import render_run_diff
+from .jobs import job_detail_pairs, render_job_detail, \
+    render_job_table
 
 __all__ = ["pct", "render_kv", "render_table", "build_dossier",
            "DegradedBounds", "QuarantineBounds", "degraded_bounds",
            "quarantine_bounds", "render_campaign_health",
            "render_degraded_health",
-           "render_run_diff"]
+           "render_run_diff",
+           "job_detail_pairs", "render_job_detail",
+           "render_job_table"]

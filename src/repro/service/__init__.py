@@ -1,0 +1,49 @@
+"""Durable campaign service: job queue, core, and serve daemon.
+
+The service layer turns one-shot ``soc-fmea campaign`` invocations
+into durable, multi-tenant *jobs*:
+
+* :mod:`~repro.service.queue` — a crash-safe SQLite job queue with
+  atomic lease-based claims, heartbeat-renewed deadlines, a bounded
+  retry budget and a dead-letter state carrying structured
+  diagnostics;
+* :mod:`~repro.service.core` — :class:`CampaignService`, the reusable
+  campaign plumbing (spec assembly, store wiring, supervisor
+  invocation, report rendering) extracted from the CLI so the
+  ``campaign`` verb, the ``serve`` daemon and any future HTTP surface
+  share one implementation;
+* :mod:`~repro.service.daemon` — the supervisor-of-supervisors
+  ``soc-fmea serve`` loop: claim a job, run it under the existing
+  :class:`~repro.faultinjection.supervisor.CampaignSupervisor`,
+  heartbeat the lease, and let lease expiry hand a dead worker's job
+  to a healthy sibling, which resumes idempotently from the
+  content-addressed store.
+"""
+
+from .core import (
+    CampaignOutcome,
+    CampaignRequest,
+    CampaignService,
+    make_subsystem,
+)
+from .queue import (
+    ACTIVE_STATES,
+    JOB_CANCELLED,
+    JOB_DEAD,
+    JOB_DONE,
+    JOB_LEASED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JobLeaseLost,
+    JobQueue,
+    JobRow,
+    QueuePolicy,
+)
+
+__all__ = [
+    "CampaignOutcome", "CampaignRequest", "CampaignService",
+    "make_subsystem",
+    "ACTIVE_STATES", "JOB_CANCELLED", "JOB_DEAD", "JOB_DONE",
+    "JOB_LEASED", "JOB_QUEUED", "JOB_RUNNING",
+    "JobLeaseLost", "JobQueue", "JobRow", "QueuePolicy",
+]

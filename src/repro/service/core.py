@@ -1,0 +1,392 @@
+"""The reusable campaign core behind the CLI and the serve daemon.
+
+:class:`CampaignService` owns the plumbing that used to be inlined in
+``cli.py``'s ``campaign`` verb: subsystem/environment assembly,
+stimuli and zone-config validation, store wiring, supervisor
+invocation and report rendering.  Every consumer — the ``campaign``
+CLI verb, a queue worker inside ``soc-fmea serve``, a future HTTP
+API — goes through :meth:`CampaignService.run_campaign`, so they
+cannot drift apart: the CLI's byte-for-byte output and exit codes
+*are* the service's output and exit codes.
+
+A :class:`CampaignRequest` is a plain, JSON-round-trippable record of
+one campaign's parameters — exactly what a queued job stores in its
+``spec`` column.  :class:`CampaignOutcome` carries the rendered
+stdout/stderr, the exit code, and the headline metrics a job records
+as its result.
+
+Multi-tenancy: a service is rooted at one store directory; the
+``default`` project writes evidence directly into it, while any other
+project name is namespaced under ``<root>/projects/<name>`` — its own
+content-addressed store, sharing nothing but the job queue (which
+always lives in the root index).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+
+#: default campaign-store directory; overridable per invocation with
+#: ``--store`` or globally with the ``SOCFMEA_STORE`` environment
+#: variable
+DEFAULT_STORE = ".socfmea_store"
+
+#: consolidated exit-code taxonomy (see docs/methodology.md §4e):
+#: 0 — success; 1 — operational failure (aborted campaign, internal
+#: error); 2 — coded diagnostics were reported (bad input, usage);
+#: 3 — completed, but the evidence is bounded (quarantined faults or
+#: degraded-mode skipped zones)
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_DIAGNOSTIC = 2
+EXIT_QUARANTINE = 3
+
+
+def resolve_store_root(path: str | None = None) -> str:
+    """Explicit path beats ``$SOCFMEA_STORE`` beats the default."""
+    if path:
+        return path
+    return os.environ.get("SOCFMEA_STORE") or DEFAULT_STORE
+
+
+def make_subsystem(variant: str):
+    """The built-in design variants, by CLI name."""
+    from ..soc.config import SubsystemConfig
+    from ..soc.subsystem import MemorySubsystem
+    factory = {
+        "baseline": SubsystemConfig.baseline,
+        "improved": SubsystemConfig.improved,
+        "small-baseline": SubsystemConfig.small_baseline,
+        "small-improved": SubsystemConfig.small_improved,
+    }[variant]
+    return MemorySubsystem(factory())
+
+
+@dataclass
+class CampaignRequest:
+    """One campaign's parameters, as a JSON-serializable record."""
+
+    variant: str = "improved"
+    full: bool = False
+    workers: int = 1
+    shards: int | None = None
+    sample: int | None = None
+    machines_per_pass: int | None = None
+    engine: str = "compiled"
+    use_cache: bool = True
+    shard_timeout: float | None = None
+    cycle_budget: int | None = None
+    max_retries: int = 2
+    quarantine: bool = True
+    supervise: bool = True
+    zones: str | None = None
+    stimuli: str | None = None
+    degraded: bool = False
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignRequest":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    @classmethod
+    def from_args(cls, args) -> "CampaignRequest":
+        """Build from the ``campaign`` / ``jobs submit`` CLI args."""
+        return cls(
+            variant=args.variant, full=args.full,
+            workers=args.workers, shards=args.shards,
+            sample=args.sample,
+            machines_per_pass=args.machines_per_pass,
+            engine=args.engine,
+            use_cache=not getattr(args, "no_cache", False),
+            shard_timeout=args.shard_timeout,
+            cycle_budget=args.cycle_budget,
+            max_retries=args.max_retries,
+            quarantine=not args.no_quarantine,
+            supervise=not getattr(args, "no_supervise", False),
+            zones=args.zones, stimuli=args.stimuli,
+            degraded=args.degraded)
+
+
+@dataclass
+class CampaignOutcome:
+    """What one campaign produced: text, exit code and metrics."""
+
+    exit_code: int
+    out: str = ""
+    err: str = ""
+    design: str | None = None
+    faults: int = 0
+    measured_dc: float | None = None
+    safe_fraction: float | None = None
+    quarantined: int = 0
+    skipped_zones: list[str] = field(default_factory=list)
+    run_id: int | None = None
+    hits: int = 0
+    misses: int = 0
+    simulated: int = 0
+
+    def summary_dict(self) -> dict:
+        """The compact record a finished job stores as its result."""
+        return {
+            "exit_code": self.exit_code,
+            "design": self.design,
+            "faults": self.faults,
+            "measured_dc": self.measured_dc,
+            "safe_fraction": self.safe_fraction,
+            "quarantined": self.quarantined,
+            "skipped_zones": list(self.skipped_zones),
+            "run_id": self.run_id,
+            "hits": self.hits,
+            "misses": self.misses,
+            "simulated": self.simulated,
+        }
+
+
+class CampaignService:
+    """Campaign execution rooted at one store directory."""
+
+    def __init__(self, store_root: str | Path | None = None,
+                 project: str = "default"):
+        self.root = Path(resolve_store_root(
+            str(store_root) if store_root is not None else None))
+        self.project = project
+
+    # ------------------------------------------------------------------
+    # store namespaces and queue access
+    # ------------------------------------------------------------------
+    def store_path(self, project: str | None = None) -> Path:
+        name = project if project is not None else self.project
+        if name == "default":
+            return self.root
+        return self.root / "projects" / name
+
+    def open_cache(self, project: str | None = None):
+        from ..store import CampaignCache
+        return CampaignCache(self.store_path(project))
+
+    def open_queue(self, policy=None):
+        """The job queue always lives in the root store index, so one
+        daemon serves every project namespace under this root."""
+        from .queue import JobQueue
+        return JobQueue(self.root, policy=policy)
+
+    # ------------------------------------------------------------------
+    # job lifecycle façade (CLI ``jobs`` verbs and future APIs)
+    # ------------------------------------------------------------------
+    def submit(self, request: CampaignRequest,
+               max_attempts: int | None = None) -> int:
+        with self.open_queue() as queue:
+            return queue.submit(request.to_dict(),
+                                project=self.project,
+                                max_attempts=max_attempts)
+
+    def status(self, job_id: int):
+        with self.open_queue() as queue:
+            return queue.job(job_id)
+
+    def result(self, job_id: int) -> dict | None:
+        job = self.status(job_id)
+        return job.result if job is not None else None
+
+    def cancel(self, job_id: int) -> bool:
+        with self.open_queue() as queue:
+            return queue.cancel(job_id)
+
+    def retry(self, job_id: int) -> bool:
+        with self.open_queue() as queue:
+            return queue.retry(job_id)
+
+    def list_jobs(self, status: str | None = None,
+                  project: str | None = None):
+        with self.open_queue() as queue:
+            return queue.jobs(status=status, project=project)
+
+    # ------------------------------------------------------------------
+    # the campaign itself (extracted from cli.cmd_campaign)
+    # ------------------------------------------------------------------
+    def run_campaign(self, request: CampaignRequest, progress=None,
+                     cache=None, heartbeat=None,
+                     heartbeat_interval: float = 1.0
+                     ) -> CampaignOutcome:
+        """Run one campaign; never prints — output is returned.
+
+        ``out``/``err`` in the returned :class:`CampaignOutcome` are
+        byte-identical to what the pre-service CLI printed, and the
+        exit code follows the same taxonomy.  ``progress`` is invoked
+        live (the CLI prints its lines immediately).  ``cache``
+        overrides the store the request would open (the daemon passes
+        a per-job cache it also watches for the run id); ``heartbeat``
+        is threaded into the supervisor's event loop.
+        """
+        from ..faultinjection import build_environment, randomize
+        from ..faultinjection.environment import (
+            StimuliValidationError,
+            validate_stimuli,
+        )
+        from ..faultinjection.manager import CampaignConfig
+        from ..faultinjection.parallel import (
+            CampaignSpec,
+            ParallelCampaignRunner,
+        )
+        from ..faultinjection.supervisor import (
+            CampaignAborted,
+            CampaignSupervisor,
+            SupervisorConfig,
+        )
+        from ..reporting.tables import pct, render_table
+
+        out: list[str] = []
+        err: list[str] = []
+
+        def outcome(code: int, **kw) -> CampaignOutcome:
+            return CampaignOutcome(exit_code=code,
+                                   out="\n".join(out),
+                                   err="\n".join(err), **kw)
+
+        if request.workers < 1:
+            err.append("error: --workers must be at least 1")
+            return outcome(EXIT_DIAGNOSTIC)
+        if request.max_retries < 0:
+            err.append("error: --max-retries must be >= 0")
+            return outcome(EXIT_DIAGNOSTIC)
+        sub = make_subsystem(request.variant)
+        env = build_environment(sub, quick=not request.full)
+
+        if request.stimuli:
+            from ..diagnostics import DiagnosticReport
+            from ..faultinjection.environment import (
+                load_stimuli,
+                validate_stimuli_report,
+            )
+            sreport = DiagnosticReport()
+            cycles = load_stimuli(request.stimuli, report=sreport)
+            if cycles is not None:
+                validate_stimuli_report(env.circuit, cycles, sreport,
+                                        source=request.stimuli)
+            if not sreport.ok:
+                err.append(sreport.render(title="stimuli"))
+                return outcome(EXIT_DIAGNOSTIC)
+            env.stimuli = cycles
+        try:
+            validate_stimuli(env.circuit, env.stimuli)
+        except StimuliValidationError as exc:
+            err.append(f"error: invalid stimuli for "
+                       f"{sub.cfg.name}:\n{exc}")
+            return outcome(EXIT_DIAGNOSTIC)
+
+        skipped_zones: list[str] = []
+        if request.zones:
+            from ..diagnostics import DiagnosticReport
+            from ..zones.io import load_zone_config, \
+                resolve_zone_config
+            zreport = DiagnosticReport()
+            data = load_zone_config(request.zones, report=zreport)
+            if data is None:
+                err.append(zreport.render(title="zone config"))
+                return outcome(EXIT_DIAGNOSTIC)
+            resolution = resolve_zone_config(
+                data, env.zone_set, env.circuit, zreport,
+                source=request.zones)
+            if not zreport.ok and not request.degraded:
+                err.append(zreport.render(title="zone config"))
+                err.append("(strict mode: pass --degraded to run the "
+                           "resolvable zones and bound the metrics)")
+                return outcome(EXIT_DIAGNOSTIC)
+            if zreport.diagnostics:
+                err.append(zreport.render(title="zone config"))
+            selected = set(resolution.selected)
+            skipped_zones = list(resolution.skipped)
+            env.zone_set.zones = [z for z in env.zone_set.zones
+                                  if z.name in selected]
+            if not env.zone_set.zones:
+                err.append("error: no configured zone resolved "
+                           "against the netlist — nothing to inject")
+                return outcome(EXIT_DIAGNOSTIC)
+
+        candidates = env.candidates()
+        if request.sample:
+            candidates = randomize(candidates, request.sample)
+
+        if cache is None and request.use_cache:
+            cache = self.open_cache()
+        config = CampaignConfig(
+            machines_per_pass=request.machines_per_pass,
+            engine=request.engine)
+        spec = CampaignSpec.from_environment(env, config=config)
+        anomalies = []
+        health = None
+        if not request.supervise:
+            runner = ParallelCampaignRunner(
+                spec, workers=request.workers, shards=request.shards,
+                progress=progress, cache=cache)
+            campaign = runner.run(candidates)
+        else:
+            runner = CampaignSupervisor(
+                spec, workers=request.workers, shards=request.shards,
+                progress=progress, cache=cache,
+                config=SupervisorConfig(
+                    shard_timeout=request.shard_timeout,
+                    cycle_budget=request.cycle_budget,
+                    max_retries=request.max_retries,
+                    quarantine=request.quarantine,
+                    heartbeat=heartbeat,
+                    heartbeat_interval=heartbeat_interval))
+            try:
+                campaign = runner.run(candidates)
+            except CampaignAborted as exc:
+                err.append(f"error: campaign aborted: {exc}")
+                if cache is not None:
+                    cache.close()
+                return outcome(EXIT_FAILURE,
+                               design=sub.cfg.name)
+            anomalies = runner.anomalies
+            health = runner.last_stats.health \
+                if runner.last_stats is not None else None
+
+        counts = campaign.outcomes()
+        rows = [[name, count, pct(count / len(campaign.results))
+                 if campaign.results else pct(0.0)]
+                for name, count in counts.items()]
+        out.append(render_table(
+            ["outcome", "faults", "fraction"], rows,
+            title=f"=== campaign: {sub.cfg.name}, "
+                  f"{len(campaign.results)} faults ==="))
+        out.append(f"measured DC:            "
+                   f"{pct(campaign.measured_dc())}")
+        out.append(f"measured safe fraction: "
+                   f"{pct(campaign.measured_safe_fraction())}")
+        if runner.last_stats is not None:
+            out.append(runner.last_stats.summary())
+        if anomalies:
+            from ..reporting.health import render_campaign_health
+            out.append(render_campaign_health(campaign, anomalies,
+                                              health=health))
+        if skipped_zones:
+            from ..reporting.health import (
+                degraded_bounds,
+                render_degraded_health,
+            )
+            out.append(render_degraded_health(
+                degraded_bounds(campaign, skipped_zones)))
+        run_id = None
+        hits = misses = simulated = 0
+        if cache is not None:
+            out.append(cache.stats.summary())
+            run_id = cache.last_run_id
+            hits, misses = cache.stats.hits, cache.stats.misses
+            simulated = cache.stats.simulated
+            cache.close()
+        return outcome(
+            EXIT_QUARANTINE if anomalies or skipped_zones
+            else EXIT_OK,
+            design=sub.cfg.name, faults=len(campaign.results),
+            measured_dc=campaign.measured_dc(),
+            safe_fraction=campaign.measured_safe_fraction(),
+            quarantined=len(anomalies),
+            skipped_zones=skipped_zones, run_id=run_id, hits=hits,
+            misses=misses, simulated=simulated)

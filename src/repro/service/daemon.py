@@ -1,0 +1,257 @@
+"""``soc-fmea serve`` — the supervisor-of-supervisors loop.
+
+Each worker owns a claim loop: claim a job off the queue, mark it
+running, execute it through :class:`~repro.service.core.CampaignService`
+(which runs the existing fault-tolerant
+:class:`~repro.faultinjection.supervisor.CampaignSupervisor`
+underneath), and heartbeat the lease from inside the supervisor's
+event loop.  The failure model stacks three layers:
+
+* a *simulation worker* dying is the supervisor's problem (retry,
+  bisect, quarantine — PR 3);
+* the *daemon worker* dying is the queue's problem: its heartbeats
+  stop, the lease expires, and any healthy ``serve`` process
+  re-claims the job, resuming from the content-addressed store so
+  only unfinished cones are re-simulated;
+* a job failing on every attempt is *dead-lettered* with a structured
+  diagnostic — the job-level analogue of a quarantined fault — and
+  the daemon exits 3 (completed with bounded evidence) rather than
+  looping forever.
+
+With ``--workers N`` the daemon runs N claim loops in child
+processes and replaces any that die; ``--drain`` exits once the
+queue holds no actionable work (the mode CI and tests use).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass
+
+from .core import (
+    EXIT_DIAGNOSTIC,
+    EXIT_OK,
+    EXIT_QUARANTINE,
+    CampaignRequest,
+    CampaignService,
+)
+from .queue import JOB_DEAD, JobLeaseLost, JobQueue, JobRow, \
+    QueuePolicy
+
+
+@dataclass
+class DaemonConfig:
+    """One ``serve`` invocation's policy."""
+
+    workers: int = 1
+    #: lease length granted on claim and renewed per heartbeat
+    lease_seconds: float = 30.0
+    #: how often the supervisor loop renews the lease
+    heartbeat_interval: float = 1.0
+    #: idle poll period while the queue is empty
+    poll_interval: float = 0.5
+    #: exit once no actionable work remains (instead of serving
+    #: forever)
+    drain: bool = False
+    #: print per-job lifecycle lines
+    verbose: bool = True
+
+
+def _owner_token(index: int) -> str:
+    return f"{socket.gethostname()}:{os.getpid()}:{index}"
+
+
+def _diagnostic_error(outcome) -> dict:
+    """Condense a failed outcome's stderr into a structured,
+    traceback-free error record (the dead-letter payload)."""
+    text = outcome.err.strip() or outcome.out.strip()
+    lines = [line for line in text.splitlines() if line.strip()]
+    # headline: the first substantive line, not a report decoration
+    content = [line for line in lines
+               if not line.startswith(("===", "---"))]
+    return {
+        "kind": "diagnostic" if outcome.exit_code == EXIT_DIAGNOSTIC
+        else "failure",
+        "exit_code": outcome.exit_code,
+        "message": (content[0].strip() if content
+                    else "campaign failed"),
+        "detail": "\n".join(lines[:20]),
+    }
+
+
+class ServiceDaemon:
+    """Claims and executes queued campaign jobs against one store."""
+
+    def __init__(self, store_root, config: DaemonConfig | None = None):
+        self.config = config or DaemonConfig()
+        self.service = CampaignService(store_root)
+        self.root = self.service.root
+
+    # ------------------------------------------------------------------
+    # one worker's claim loop
+    # ------------------------------------------------------------------
+    def worker_loop(self, index: int = 0) -> int:
+        """Claim and execute jobs until the queue drains (drain mode)
+        or forever; returns the number of jobs executed."""
+        cfg = self.config
+        owner = _owner_token(index)
+        executed = 0
+        queue = JobQueue(self.root, policy=QueuePolicy(
+            lease_seconds=cfg.lease_seconds))
+        try:
+            while True:
+                job = queue.claim(owner, cfg.lease_seconds)
+                if job is None:
+                    if cfg.drain and not queue.has_work():
+                        return executed
+                    time.sleep(cfg.poll_interval)
+                    continue
+                self._log(f"worker {index}: claimed job "
+                          f"#{job.job_id} (attempt {job.attempts}/"
+                          f"{job.max_attempts})")
+                self._execute(queue, job, owner, index)
+                executed += 1
+        finally:
+            queue.close()
+
+    def _execute(self, queue: JobQueue, job: JobRow, owner: str,
+                 index: int) -> None:
+        cfg = self.config
+        try:
+            request = CampaignRequest.from_dict(job.spec)
+        except (TypeError, ValueError) as exc:
+            queue.fail(job.job_id, owner, {
+                "kind": "diagnostic", "exit_code": EXIT_DIAGNOSTIC,
+                "message": f"unreadable job spec: {exc}",
+                "detail": json.dumps(job.spec)[:500]}, fatal=True)
+            return
+        queue.start(job.job_id, owner)
+        service = CampaignService(self.root, project=job.project)
+        cache = service.open_cache() if request.use_cache else None
+        recorded = False
+
+        def heartbeat():
+            nonlocal recorded
+            if (not recorded and cache is not None
+                    and cache.last_run_id is not None):
+                recorded = queue.record_run(job.job_id, owner,
+                                            cache.last_run_id)
+            if not queue.heartbeat(job.job_id, owner,
+                                   cfg.lease_seconds):
+                raise JobLeaseLost(
+                    f"job #{job.job_id} lease lost (cancelled or "
+                    f"re-claimed)")
+
+        try:
+            outcome = service.run_campaign(
+                request, cache=cache, heartbeat=heartbeat,
+                heartbeat_interval=cfg.heartbeat_interval)
+        except JobLeaseLost as exc:
+            self._log(f"worker {index}: {exc} — abandoning")
+            return
+        except Exception as exc:  # noqa: BLE001 — job-level contain
+            queue.fail(job.job_id, owner, {
+                "kind": "exception", "exit_code": 1,
+                "message": f"{type(exc).__name__}: {exc}",
+                "detail": f"internal error while executing job "
+                          f"#{job.job_id}; re-run with "
+                          f"SOCFMEA_DEBUG=1 outside the daemon for "
+                          f"a traceback"})
+            self._log(f"worker {index}: job #{job.job_id} raised "
+                      f"{type(exc).__name__}")
+            return
+        finally:
+            if cache is not None:
+                if not recorded and cache.last_run_id is not None:
+                    recorded = queue.record_run(job.job_id, owner,
+                                                cache.last_run_id)
+                cache.close()
+
+        if outcome.exit_code in (EXIT_OK, EXIT_QUARANTINE):
+            queue.complete(job.job_id, owner, outcome.summary_dict())
+            self._log(f"worker {index}: job #{job.job_id} done "
+                      f"(exit {outcome.exit_code})")
+        else:
+            # exit 2 is a coded input diagnostic — deterministic, so
+            # retrying cannot help: dead-letter on the first attempt
+            status = queue.fail(
+                job.job_id, owner, _diagnostic_error(outcome),
+                fatal=outcome.exit_code == EXIT_DIAGNOSTIC)
+            self._log(f"worker {index}: job #{job.job_id} failed "
+                      f"(exit {outcome.exit_code}) → "
+                      f"{status or 'lease lost'}")
+
+    # ------------------------------------------------------------------
+    # the serve entry point
+    # ------------------------------------------------------------------
+    def serve(self) -> int:
+        """Run the daemon; returns the process exit code (0 clean,
+        3 when dead-letter jobs remain — bounded evidence)."""
+        cfg = self.config
+        self._log(f"serving {self.root} with {cfg.workers} "
+                  f"worker(s), {cfg.lease_seconds:.0f}s leases"
+                  + (" (drain mode)" if cfg.drain else ""))
+        try:
+            if cfg.workers == 1:
+                self.worker_loop(0)
+            else:
+                self._serve_pool()
+        except KeyboardInterrupt:
+            self._log("interrupted — exiting")
+        with JobQueue(self.root) as queue:
+            dead = queue.counts().get(JOB_DEAD, 0)
+        if dead:
+            self._log(f"{dead} job(s) in dead-letter — "
+                      f"inspect with 'soc-fmea jobs list'")
+            return EXIT_QUARANTINE
+        return EXIT_OK
+
+    def _serve_pool(self) -> None:
+        """N claim loops in child processes; dead children are
+        replaced (their in-flight job recovers via lease expiry)."""
+        from multiprocessing import get_context
+        from ..faultinjection.parallel import _default_start_method
+        cfg = self.config
+        mp = get_context(_default_start_method())
+        alive: dict[int, object] = {}
+
+        def spawn(index: int):
+            process = mp.Process(
+                target=_pool_worker,
+                args=(str(self.root), self.config, index),
+                daemon=True)
+            process.start()
+            return process
+
+        for index in range(cfg.workers):
+            alive[index] = spawn(index)
+        try:
+            while alive:
+                time.sleep(cfg.poll_interval)
+                for index, process in list(alive.items()):
+                    if process.is_alive():
+                        continue
+                    if cfg.drain and process.exitcode == 0:
+                        del alive[index]     # drained cleanly
+                        continue
+                    self._log(f"worker {index} died (exit "
+                              f"{process.exitcode}) — replacing")
+                    alive[index] = spawn(index)
+        finally:
+            for process in alive.values():
+                process.terminate()
+            for process in alive.values():
+                process.join(timeout=5.0)
+
+    def _log(self, message: str) -> None:
+        if self.config.verbose:
+            print(f"serve: {message}", flush=True)
+
+
+def _pool_worker(root: str, config: DaemonConfig,
+                 index: int) -> None:
+    """Child-process entry point of one pooled claim loop."""
+    ServiceDaemon(root, config).worker_loop(index)

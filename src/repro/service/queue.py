@@ -1,0 +1,362 @@
+"""Durable campaign job queue with lease-based recovery.
+
+The queue lives in the ``jobs`` table of the campaign store's SQLite
+index (:mod:`repro.store.db`) and follows the same design rules as the
+rest of the store: WAL mode, short write transactions, and rows that
+are safe to act on after any crash because every mutation is a single
+atomic transaction.
+
+Lifecycle (docs/methodology.md §4g)::
+
+    queued ──claim──▶ leased ──start──▶ running ──complete──▶ done
+      ▲                 │                  │
+      │   lease expiry / fail (budget left)│
+      └────────────────┴───────────────────┘
+                        │ budget exhausted
+                        ▼
+                      dead  ──retry──▶ queued        cancel ▶ cancelled
+
+* **Claim** is one ``BEGIN IMMEDIATE`` transaction: pick the oldest
+  actionable job (``queued`` past its backoff, or ``leased`` /
+  ``running`` whose lease deadline passed — a dead worker), bump its
+  attempt counter and stamp the new owner + deadline.  Two daemons
+  racing the same row serialize on the write lock, so a job is never
+  double-claimed.
+* **Heartbeat** extends the lease deadline *monotonically*
+  (``max(deadline, now + lease)``) and only while the caller still
+  owns the lease; a ``False`` return tells the worker its job was
+  cancelled or re-claimed and it must stop.
+* **Retry budget**: attempts are counted at claim time, so a worker
+  that dies without reporting still consumes one attempt.  A job
+  whose budget is spent is *dead-lettered* with a structured error
+  (same shape as a quarantined fault's
+  :class:`~repro.faultinjection.supervisor.FaultAnomaly`: kind,
+  message, diagnostics) instead of looping forever.
+* **Dead letter** is terminal but reversible: ``retry`` zeroes the
+  attempt counter and re-queues once the cause is fixed.
+
+Because every campaign's evidence is content-addressed, a re-claimed
+job resumes from the store: only the cones the dead worker never
+finished are re-simulated.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..store.db import ACTIVE_JOB_STATES, StoreDB
+
+JOB_QUEUED = "queued"
+JOB_LEASED = "leased"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_DEAD = "dead"
+JOB_CANCELLED = "cancelled"
+
+#: states a worker may still act on (mirrors the store's constant)
+ACTIVE_STATES = ACTIVE_JOB_STATES
+
+
+class JobLeaseLost(RuntimeError):
+    """The worker's lease was cancelled or re-claimed mid-run."""
+
+
+@dataclass
+class QueuePolicy:
+    """Lease and retry policy of one queue handle."""
+
+    #: seconds a claim stays valid without a heartbeat; a daemon that
+    #: misses this window is presumed dead and its job is up for grabs
+    lease_seconds: float = 30.0
+    #: claim attempts before a job is dead-lettered
+    max_attempts: int = 3
+    #: exponential backoff between failed attempts: attempt ``k``
+    #: re-queues with ``not_before = now + base * factor**(k-1)``
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+
+
+@dataclass
+class JobRow:
+    """One queue row with its JSON payloads decoded."""
+
+    job_id: int
+    project: str
+    status: str
+    spec: dict
+    attempts: int
+    max_attempts: int
+    not_before: float
+    lease_owner: str | None
+    lease_deadline: float | None
+    run_id: int | None
+    result: dict | None
+    error: dict | None
+    created_at: float
+    updated_at: float
+
+    @classmethod
+    def from_row(cls, row: dict) -> "JobRow":
+        def decode(text, default):
+            if text is None:
+                return default
+            try:
+                value = json.loads(text)
+            except ValueError:
+                return default
+            return value if isinstance(value, dict) else default
+        return cls(
+            job_id=row["job_id"], project=row["project"],
+            status=row["status"], spec=decode(row["spec"], {}),
+            attempts=row["attempts"],
+            max_attempts=row["max_attempts"],
+            not_before=row["not_before"],
+            lease_owner=row["lease_owner"],
+            lease_deadline=row["lease_deadline"],
+            run_id=row["run_id"],
+            result=decode(row["result"], None),
+            error=decode(row["error"], None),
+            created_at=row["created_at"],
+            updated_at=row["updated_at"])
+
+
+class JobQueue:
+    """Handle on the job queue of one campaign store.
+
+    Accepts either a store root directory (the queue lives next to the
+    evidence in ``store.db``) or an already-open :class:`StoreDB`.
+    """
+
+    def __init__(self, root, policy: QueuePolicy | None = None,
+                 db: StoreDB | None = None):
+        self.policy = policy or QueuePolicy()
+        if db is not None:
+            self.db = db
+            self._owns_db = False
+        else:
+            self.root = Path(root)
+            self.root.mkdir(parents=True, exist_ok=True)
+            self.db = StoreDB(self.root / "store.db")
+            self._owns_db = True
+
+    def close(self) -> None:
+        if self._owns_db:
+            self.db.close()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def submit(self, spec: dict, project: str = "default",
+               max_attempts: int | None = None) -> int:
+        """Enqueue one campaign job; returns its id."""
+        budget = max_attempts if max_attempts is not None \
+            else self.policy.max_attempts
+        if budget < 1:
+            raise ValueError("max_attempts must be at least 1")
+        now = time.time()
+        with self.db.immediate() as conn:
+            cursor = conn.execute(
+                "INSERT INTO jobs (created_at, updated_at, project,"
+                " status, spec, max_attempts) VALUES (?,?,?,?,?,?)",
+                (now, now, project, JOB_QUEUED,
+                 json.dumps(spec, sort_keys=True), budget))
+            return cursor.lastrowid
+
+    def cancel(self, job_id: int) -> bool:
+        """Cancel an active job.  A running worker notices on its next
+        heartbeat and abandons the campaign (the store keeps whatever
+        evidence already landed)."""
+        marks = ",".join("?" * len(ACTIVE_STATES))
+        with self.db.immediate() as conn:
+            return conn.execute(
+                f"UPDATE jobs SET status=?, lease_owner=NULL,"
+                f" lease_deadline=NULL, updated_at=?"
+                f" WHERE job_id=? AND status IN ({marks})",
+                (JOB_CANCELLED, time.time(), job_id,
+                 *ACTIVE_STATES)).rowcount == 1
+
+    def retry(self, job_id: int) -> bool:
+        """Re-queue a dead-lettered or cancelled job with a fresh
+        attempt budget (use after fixing the recorded cause)."""
+        with self.db.immediate() as conn:
+            return conn.execute(
+                "UPDATE jobs SET status=?, attempts=0, not_before=0,"
+                " lease_owner=NULL, lease_deadline=NULL, error=NULL,"
+                " result=NULL, updated_at=?"
+                " WHERE job_id=? AND status IN (?,?)",
+                (JOB_QUEUED, time.time(), job_id, JOB_DEAD,
+                 JOB_CANCELLED)).rowcount == 1
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def claim(self, owner: str,
+              lease_seconds: float | None = None) -> JobRow | None:
+        """Atomically claim the oldest actionable job for ``owner``.
+
+        Actionable = ``queued`` past its backoff, or ``leased`` /
+        ``running`` with an expired lease (the previous worker died).
+        A candidate whose retry budget is already spent is
+        dead-lettered on the spot — recording the worker death as a
+        structured error — and the scan continues.
+        """
+        lease = lease_seconds if lease_seconds is not None \
+            else self.policy.lease_seconds
+        while True:
+            now = time.time()
+            with self.db.immediate() as conn:
+                row = conn.execute(
+                    "SELECT job_id, status, attempts, max_attempts"
+                    " FROM jobs WHERE"
+                    " (status=? AND not_before<=?)"
+                    " OR (status IN (?,?) AND lease_deadline IS NOT"
+                    " NULL AND lease_deadline<?)"
+                    " ORDER BY job_id LIMIT 1",
+                    (JOB_QUEUED, now, JOB_LEASED, JOB_RUNNING,
+                     now)).fetchone()
+                if row is None:
+                    return None
+                job_id, status, attempts, max_attempts = row
+                if attempts >= max_attempts:
+                    # the lease expired with no budget left: the
+                    # worker died mid-job on its final attempt
+                    error = {
+                        "kind": "crash",
+                        "message": (
+                            f"lease expired after {attempts} "
+                            f"attempt(s); the executing worker died "
+                            f"or stalled without reporting"),
+                        "attempts": attempts,
+                    }
+                    conn.execute(
+                        "UPDATE jobs SET status=?, error=?,"
+                        " lease_owner=NULL, lease_deadline=NULL,"
+                        " updated_at=? WHERE job_id=?",
+                        (JOB_DEAD, json.dumps(error), now, job_id))
+                    continue
+                conn.execute(
+                    "UPDATE jobs SET status=?, attempts=attempts+1,"
+                    " lease_owner=?, lease_deadline=?, updated_at=?"
+                    " WHERE job_id=?",
+                    (JOB_LEASED, owner, now + lease, now, job_id))
+            return self.job(job_id)
+
+    def heartbeat(self, job_id: int, owner: str,
+                  lease_seconds: float | None = None) -> bool:
+        """Renew the lease; the deadline only ever moves forward.
+
+        Returns ``False`` when the lease is gone (job cancelled, or
+        re-claimed after an expiry) — the worker must stop.
+        """
+        lease = lease_seconds if lease_seconds is not None \
+            else self.policy.lease_seconds
+        now = time.time()
+        with self.db.immediate() as conn:
+            return conn.execute(
+                "UPDATE jobs SET lease_deadline="
+                " MAX(lease_deadline, ?), updated_at=?"
+                " WHERE job_id=? AND lease_owner=?"
+                " AND status IN (?,?)",
+                (now + lease, now, job_id, owner, JOB_LEASED,
+                 JOB_RUNNING)).rowcount == 1
+
+    def start(self, job_id: int, owner: str) -> bool:
+        """Mark a leased job as actually executing."""
+        with self.db.immediate() as conn:
+            return conn.execute(
+                "UPDATE jobs SET status=?, updated_at=?"
+                " WHERE job_id=? AND lease_owner=? AND status=?",
+                (JOB_RUNNING, time.time(), job_id, owner,
+                 JOB_LEASED)).rowcount == 1
+
+    def record_run(self, job_id: int, owner: str,
+                   run_id: int) -> bool:
+        """Attach the store run a worker opened for this job, so gc
+        and fsck can cross-reference queue and evidence."""
+        with self.db.immediate() as conn:
+            return conn.execute(
+                "UPDATE jobs SET run_id=?, updated_at=?"
+                " WHERE job_id=? AND lease_owner=?"
+                " AND status IN (?,?)",
+                (run_id, time.time(), job_id, owner, JOB_LEASED,
+                 JOB_RUNNING)).rowcount == 1
+
+    def complete(self, job_id: int, owner: str,
+                 result: dict) -> bool:
+        """Terminal success: record the result payload."""
+        with self.db.immediate() as conn:
+            return conn.execute(
+                "UPDATE jobs SET status=?, result=?, error=NULL,"
+                " lease_owner=NULL, lease_deadline=NULL, updated_at=?"
+                " WHERE job_id=? AND lease_owner=?"
+                " AND status IN (?,?)",
+                (JOB_DONE, json.dumps(result, sort_keys=True),
+                 time.time(), job_id, owner, JOB_LEASED,
+                 JOB_RUNNING)).rowcount == 1
+
+    def fail(self, job_id: int, owner: str, error: dict,
+             fatal: bool = False) -> str | None:
+        """Record a failed attempt.
+
+        Re-queues with exponential backoff while budget remains,
+        dead-letters otherwise.  ``fatal`` dead-letters immediately —
+        for deterministic failures (coded input diagnostics) a retry
+        can never fix.  Returns the resulting status, or ``None``
+        when the caller no longer owns the lease.
+        """
+        now = time.time()
+        with self.db.immediate() as conn:
+            row = conn.execute(
+                "SELECT attempts, max_attempts FROM jobs"
+                " WHERE job_id=? AND lease_owner=?"
+                " AND status IN (?,?)",
+                (job_id, owner, JOB_LEASED, JOB_RUNNING)).fetchone()
+            if row is None:
+                return None
+            attempts, max_attempts = row
+            if fatal or attempts >= max_attempts:
+                status, not_before = JOB_DEAD, 0.0
+            else:
+                status = JOB_QUEUED
+                not_before = now + self.policy.backoff_base \
+                    * self.policy.backoff_factor ** (attempts - 1)
+            conn.execute(
+                "UPDATE jobs SET status=?, not_before=?, error=?,"
+                " lease_owner=NULL, lease_deadline=NULL, updated_at=?"
+                " WHERE job_id=?",
+                (status, not_before, json.dumps(error, sort_keys=True),
+                 now, job_id))
+            return status
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def job(self, job_id: int) -> JobRow | None:
+        row = self.db.job_row(job_id)
+        return JobRow.from_row(row) if row is not None else None
+
+    def jobs(self, status: str | None = None,
+             project: str | None = None) -> list[JobRow]:
+        return [JobRow.from_row(row)
+                for row in self.db.job_rows(status=status,
+                                            project=project)]
+
+    def counts(self) -> dict[str, int]:
+        return self.db.job_counts()
+
+    def has_work(self) -> bool:
+        """Any job a worker could act on now or after a lease/backoff
+        expiry (used by ``serve --drain`` to decide when to stop)."""
+        marks = ",".join("?" * len(ACTIVE_STATES))
+        return self.db._conn.execute(
+            f"SELECT 1 FROM jobs WHERE status IN ({marks}) LIMIT 1",
+            ACTIVE_STATES).fetchone() is not None

@@ -19,7 +19,13 @@ runs and reports which zones regressed.
 
 from .blobs import BlobStore, CorruptBlobError
 from .cache import CacheStats, CampaignCache, CampaignPlan
-from .db import AnomalyRow, OutcomeRow, StoreDB
+from .db import (
+    ACTIVE_JOB_STATES,
+    AnomalyRow,
+    OutcomeRow,
+    StoreBusyError,
+    StoreDB,
+)
 from .fingerprint import (
     FP_VERSION,
     FingerprintContext,
@@ -40,7 +46,8 @@ from .query import (
 __all__ = [
     "BlobStore", "CorruptBlobError",
     "CacheStats", "CampaignCache", "CampaignPlan",
-    "AnomalyRow", "OutcomeRow", "StoreDB",
+    "ACTIVE_JOB_STATES", "AnomalyRow", "OutcomeRow",
+    "StoreBusyError", "StoreDB",
     "FP_VERSION", "FingerprintContext", "SupportIndex",
     "fault_descriptor",
     "FsckResult", "fsck_store",

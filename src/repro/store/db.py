@@ -15,10 +15,19 @@ Three concerns, three groups of tables:
   (visible in ``store stats``) while all its completed outcomes stay
   reusable.
 * ``golden`` — maps a golden-trace content key to its blob digest.
+* ``jobs`` — the durable campaign job queue (:mod:`repro.service`):
+  one row per submitted campaign with lease bookkeeping
+  (owner/deadline), a retry budget, and the terminal ``done`` /
+  ``dead`` / ``cancelled`` states.  Living in the same index as the
+  evidence it produces means a single fsck/gc pass sees both sides.
 
 The connection runs in WAL mode with a generous busy timeout so two
 campaign runners sharing one store serialize on short write
-transactions instead of erroring.
+transactions instead of erroring.  On top of the SQLite-level busy
+timeout every write transaction retries with bounded exponential
+backoff; only after the full budget does it surface a coded
+:class:`StoreBusyError` (``E409``) instead of the raw
+``sqlite3.OperationalError``.
 """
 
 from __future__ import annotations
@@ -26,8 +35,12 @@ from __future__ import annotations
 import json
 import sqlite3
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
+
+from ..diagnostics.core import DiagnosticReport
+from ..diagnostics.core import DiagnosticError as _DiagnosticError
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta(
@@ -103,10 +116,47 @@ CREATE TABLE IF NOT EXISTS shard_attempts(
     created_at   REAL NOT NULL,
     PRIMARY KEY(run_id, seq)
 );
+CREATE TABLE IF NOT EXISTS jobs(
+    job_id         INTEGER PRIMARY KEY AUTOINCREMENT,
+    created_at     REAL NOT NULL,
+    updated_at     REAL NOT NULL,
+    project        TEXT NOT NULL DEFAULT 'default',
+    status         TEXT NOT NULL DEFAULT 'queued',
+    spec           TEXT NOT NULL,
+    attempts       INTEGER NOT NULL DEFAULT 0,
+    max_attempts   INTEGER NOT NULL DEFAULT 3,
+    not_before     REAL NOT NULL DEFAULT 0.0,
+    lease_owner    TEXT,
+    lease_deadline REAL,
+    run_id         INTEGER,
+    result         TEXT,
+    error          TEXT
+);
 CREATE INDEX IF NOT EXISTS idx_run_faults_fp
     ON run_faults(fault_fp);
 CREATE INDEX IF NOT EXISTS idx_runs_env ON runs(env_fp);
+CREATE INDEX IF NOT EXISTS idx_jobs_status ON jobs(status);
 """
+
+#: job states a queue worker may still act on — everything that is
+#: not terminally ``done`` / ``dead`` / ``cancelled``
+ACTIVE_JOB_STATES = ("queued", "leased", "running")
+
+#: write-transaction retry budget for ``database is locked`` — the
+#: SQLite-level busy timeout already absorbs short contention, so a
+#: handful of exponentially spaced retries covers pathological bursts
+BUSY_RETRIES = 5
+BUSY_BACKOFF_BASE = 0.05
+
+
+class StoreBusyError(_DiagnosticError):
+    """The store's write lock stayed contended past the retry budget
+    (``E409``) — a sibling campaign or daemon is monopolizing it."""
+
+
+def _is_busy(err: sqlite3.OperationalError) -> bool:
+    text = str(err).lower()
+    return "locked" in text or "busy" in text
 
 
 @dataclass
@@ -161,20 +211,66 @@ class StoreDB:
         self._conn.close()
 
     # ------------------------------------------------------------------
+    # write-lock contention policy
+    # ------------------------------------------------------------------
+    def _write(self, txn):
+        """Run a write transaction, retrying lock contention.
+
+        ``database is locked`` is retried ``BUSY_RETRIES`` times with
+        exponential backoff on top of SQLite's own busy timeout; the
+        final failure surfaces as a coded :class:`StoreBusyError`
+        (``E409``) so no raw ``OperationalError`` reaches the CLI.
+        """
+        delay = BUSY_BACKOFF_BASE
+        for attempt in range(1, BUSY_RETRIES + 1):
+            try:
+                return txn()
+            except sqlite3.OperationalError as err:
+                if not _is_busy(err):
+                    raise
+                if attempt == BUSY_RETRIES:
+                    report = DiagnosticReport()
+                    report.error(
+                        "E409",
+                        f"store index stayed locked through "
+                        f"{BUSY_RETRIES} write attempts: {err}",
+                        file=str(self.path))
+                    raise StoreBusyError(report) from err
+                time.sleep(delay)
+                delay *= 2
+
+    @contextmanager
+    def immediate(self):
+        """A ``BEGIN IMMEDIATE`` transaction: the write lock is taken
+        up front (with the bounded busy retry), so read-then-update
+        sequences inside the block are atomic against sibling
+        processes — the primitive under the job queue's claim."""
+        self._write(lambda: self._conn.execute("BEGIN IMMEDIATE"))
+        try:
+            yield self._conn
+        except BaseException:
+            self._conn.rollback()
+            raise
+        else:
+            self._conn.commit()
+
+    # ------------------------------------------------------------------
     # outcome log
     # ------------------------------------------------------------------
     def put_outcomes(self, rows: list[OutcomeRow]) -> int:
         """Append outcome records; duplicates are ignored (idempotent)."""
         now = time.time()
-        with self._conn:
-            cursor = self._conn.executemany(
-                "INSERT OR IGNORE INTO outcomes VALUES "
-                "(?,?,?,?,?,?,?,?,?,?)",
-                [(r.fault_fp, r.fault_name, r.zone, r.kind,
-                  r.sens_cycle, r.obse_cycle, r.diag_cycle,
-                  r.first_alarm, json.dumps(r.effects), now)
-                 for r in rows])
-        return cursor.rowcount
+
+        def txn():
+            with self._conn:
+                return self._conn.executemany(
+                    "INSERT OR IGNORE INTO outcomes VALUES "
+                    "(?,?,?,?,?,?,?,?,?,?)",
+                    [(r.fault_fp, r.fault_name, r.zone, r.kind,
+                      r.sens_cycle, r.obse_cycle, r.diag_cycle,
+                      r.first_alarm, json.dumps(r.effects), now)
+                     for r in rows])
+        return self._write(txn).rowcount
 
     def get_outcomes(self, fps: list[str]) -> dict[str, OutcomeRow]:
         """Fetch cached records; unparsable rows are silently skipped
@@ -212,15 +308,16 @@ class StoreDB:
     def begin_run(self, design: str, env_fp: str, faults: int,
                   workers: int, window: int,
                   test_windows) -> int:
-        with self._conn:
-            cursor = self._conn.execute(
-                "INSERT INTO runs (created_at, status, design, env_fp,"
-                " workers, faults, window, test_windows)"
-                " VALUES (?,?,?,?,?,?,?,?)",
-                (time.time(), "running", design, env_fp, workers,
-                 faults, window,
-                 json.dumps([list(w) for w in test_windows])))
-        return cursor.lastrowid
+        def txn():
+            with self._conn:
+                return self._conn.execute(
+                    "INSERT INTO runs (created_at, status, design,"
+                    " env_fp, workers, faults, window, test_windows)"
+                    " VALUES (?,?,?,?,?,?,?,?)",
+                    (time.time(), "running", design, env_fp, workers,
+                     faults, window,
+                     json.dumps([list(w) for w in test_windows])))
+        return self._write(txn).lastrowid
 
     def finish_run(self, run_id: int, hits: int, misses: int,
                    measured_dc: float, safe_fraction: float,
@@ -234,20 +331,23 @@ class StoreDB:
         ``membership`` rows are ``(fault_fp, fault_name, zone,
         outcome_class)`` in campaign order.
         """
-        with self._conn:
-            self._conn.execute(
-                "UPDATE runs SET status='done', hits=?, misses=?,"
-                " measured_dc=?, safe_fraction=?, outcome_counts=?,"
-                " wall_seconds=?, golden_blob=? WHERE run_id=?",
-                (hits, misses, measured_dc, safe_fraction,
-                 json.dumps(outcome_counts), wall_seconds,
-                 golden_blob, run_id))
-            self._conn.executemany(
-                "INSERT OR REPLACE INTO run_faults VALUES "
-                "(?,?,?,?,?,?)",
-                [(run_id, seq, fp, name, zone, outcome)
-                 for seq, (fp, name, zone, outcome)
-                 in enumerate(membership)])
+        def txn():
+            with self._conn:
+                self._conn.execute(
+                    "UPDATE runs SET status='done', hits=?, misses=?,"
+                    " measured_dc=?, safe_fraction=?,"
+                    " outcome_counts=?, wall_seconds=?, golden_blob=?"
+                    " WHERE run_id=?",
+                    (hits, misses, measured_dc, safe_fraction,
+                     json.dumps(outcome_counts), wall_seconds,
+                     golden_blob, run_id))
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO run_faults VALUES "
+                    "(?,?,?,?,?,?)",
+                    [(run_id, seq, fp, name, zone, outcome)
+                     for seq, (fp, name, zone, outcome)
+                     in enumerate(membership)])
+        self._write(txn)
 
     def runs(self, limit: int | None = None,
              design: str | None = None,
@@ -292,14 +392,16 @@ class StoreDB:
         """Record quarantined faults; re-quarantining updates the row
         (attempt counts and tracebacks from the newest run win)."""
         now = time.time()
-        with self._conn:
-            cursor = self._conn.executemany(
-                "INSERT OR REPLACE INTO anomalies VALUES "
-                "(?,?,?,?,?,?,?,?,?,?)",
-                [(r.fault_fp, r.fault_name, r.zone, r.kind, r.worker,
-                  r.traceback, r.wall_seconds, r.attempts, r.run_id,
-                  now) for r in rows])
-        return cursor.rowcount
+
+        def txn():
+            with self._conn:
+                return self._conn.executemany(
+                    "INSERT OR REPLACE INTO anomalies VALUES "
+                    "(?,?,?,?,?,?,?,?,?,?)",
+                    [(r.fault_fp, r.fault_name, r.zone, r.kind,
+                      r.worker, r.traceback, r.wall_seconds,
+                      r.attempts, r.run_id, now) for r in rows])
+        return self._write(txn).rowcount
 
     def get_anomalies(self, fps: list[str]) -> dict[str, AnomalyRow]:
         """Fetch known poison faults among the given fingerprints."""
@@ -347,15 +449,18 @@ class StoreDB:
         status, faults, worker, wall_seconds, detail)`` tuples in
         scheduling order."""
         now = time.time()
-        with self._conn:
-            self._conn.executemany(
-                "INSERT OR REPLACE INTO shard_attempts VALUES "
-                "(?,?,?,?,?,?,?,?,?,?)",
-                [(run_id, seq, shard, attempt, status, faults,
-                  worker, seconds, detail, now)
-                 for seq, (shard, attempt, status, faults, worker,
-                           seconds, detail)
-                 in enumerate(attempts)])
+
+        def txn():
+            with self._conn:
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO shard_attempts VALUES "
+                    "(?,?,?,?,?,?,?,?,?,?)",
+                    [(run_id, seq, shard, attempt, status, faults,
+                      worker, seconds, detail, now)
+                     for seq, (shard, attempt, status, faults, worker,
+                               seconds, detail)
+                     in enumerate(attempts)])
+        self._write(txn)
 
     def shard_attempt_rows(self, run_id: int) -> list[dict]:
         cursor = self._conn.execute(
@@ -379,14 +484,140 @@ class StoreDB:
         return row[0] if row else None
 
     def put_golden(self, key: str, digest: str) -> None:
-        with self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO golden VALUES (?,?,?)",
-                (key, digest, time.time()))
+        def txn():
+            with self._conn:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO golden VALUES (?,?,?)",
+                    (key, digest, time.time()))
+        self._write(txn)
 
     def golden_digests(self) -> set[str]:
         return {row[0] for row in self._conn.execute(
             "SELECT digest FROM golden").fetchall()}
+
+    # ------------------------------------------------------------------
+    # job queue rows (policy lives in repro.service.queue)
+    # ------------------------------------------------------------------
+    def job_row(self, job_id: int) -> dict | None:
+        cursor = self._conn.execute(
+            "SELECT * FROM jobs WHERE job_id=?", (job_id,))
+        row = cursor.fetchone()
+        if row is None:
+            return None
+        return dict(zip([d[0] for d in cursor.description], row))
+
+    def job_rows(self, status: str | None = None,
+                 project: str | None = None) -> list[dict]:
+        query = "SELECT * FROM jobs"
+        clauses, params = [], []
+        if status is not None:
+            clauses.append("status=?")
+            params.append(status)
+        if project is not None:
+            clauses.append("project=?")
+            params.append(project)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY job_id"
+        cursor = self._conn.execute(query, params)
+        columns = [d[0] for d in cursor.description]
+        return [dict(zip(columns, row)) for row in cursor.fetchall()]
+
+    def job_counts(self) -> dict[str, int]:
+        return dict(self._conn.execute(
+            "SELECT status, COUNT(*) FROM jobs GROUP BY status"
+            " ORDER BY status").fetchall())
+
+    def stale_job_leases(self, now: float) -> list[dict]:
+        """Leased/running jobs whose deadline passed — dead workers."""
+        marks = ",".join("?" * len(ACTIVE_JOB_STATES[1:]))
+        cursor = self._conn.execute(
+            f"SELECT * FROM jobs WHERE status IN ({marks})"
+            f" AND lease_deadline IS NOT NULL AND lease_deadline < ?"
+            f" ORDER BY job_id", (*ACTIVE_JOB_STATES[1:], now))
+        columns = [d[0] for d in cursor.description]
+        return [dict(zip(columns, row)) for row in cursor.fetchall()]
+
+    def release_job_leases(self, job_ids: list[int]) -> int:
+        """Put expired leases back on the queue (fsck repair)."""
+        released = 0
+
+        def txn():
+            nonlocal released
+            with self._conn:
+                for job_id in job_ids:
+                    released += self._conn.execute(
+                        "UPDATE jobs SET status='queued',"
+                        " lease_owner=NULL, lease_deadline=NULL,"
+                        " updated_at=? WHERE job_id=?"
+                        " AND status IN ('leased','running')",
+                        (time.time(), job_id)).rowcount
+        self._write(txn)
+        return released
+
+    def orphan_job_rows(self, project: str = "default"
+                        ) -> list[dict]:
+        """Non-terminal jobs referencing a vanished campaign run.
+
+        Scoped to one project because only jobs of the namespace this
+        index belongs to record run ids that resolve here; other
+        namespaces are audited against their own store.
+        """
+        marks = ",".join("?" * len(ACTIVE_JOB_STATES))
+        cursor = self._conn.execute(
+            f"SELECT * FROM jobs WHERE status IN ({marks})"
+            f" AND project=? AND run_id IS NOT NULL AND run_id NOT IN"
+            f" (SELECT run_id FROM runs) ORDER BY job_id",
+            (*ACTIVE_JOB_STATES, project))
+        columns = [d[0] for d in cursor.description]
+        return [dict(zip(columns, row)) for row in cursor.fetchall()]
+
+    def clear_job_runs(self, job_ids: list[int]) -> int:
+        cleared = 0
+
+        def txn():
+            nonlocal cleared
+            with self._conn:
+                for job_id in job_ids:
+                    cleared += self._conn.execute(
+                        "UPDATE jobs SET run_id=NULL, updated_at=?"
+                        " WHERE job_id=?",
+                        (time.time(), job_id)).rowcount
+        self._write(txn)
+        return cleared
+
+    def dead_jobs_missing_runs(self, project: str = "default"
+                               ) -> list[dict]:
+        """Dead-letter jobs whose recorded evidence was GCed."""
+        cursor = self._conn.execute(
+            "SELECT * FROM jobs WHERE status='dead' AND project=?"
+            " AND run_id IS NOT NULL AND run_id NOT IN"
+            " (SELECT run_id FROM runs) ORDER BY job_id", (project,))
+        columns = [d[0] for d in cursor.description]
+        return [dict(zip(columns, row)) for row in cursor.fetchall()]
+
+    def delete_jobs(self, job_ids: list[int]) -> int:
+        removed = 0
+
+        def txn():
+            nonlocal removed
+            with self._conn:
+                for job_id in job_ids:
+                    removed += self._conn.execute(
+                        "DELETE FROM jobs WHERE job_id=?",
+                        (job_id,)).rowcount
+        self._write(txn)
+        return removed
+
+    def active_job_run_ids(self) -> list[int]:
+        """Run ids still referenced by queued/leased/running jobs —
+        the GC keep-set extension that stops collection from
+        stranding a campaign a worker will resume."""
+        marks = ",".join("?" * len(ACTIVE_JOB_STATES))
+        return [row[0] for row in self._conn.execute(
+            f"SELECT DISTINCT run_id FROM jobs"
+            f" WHERE status IN ({marks}) AND run_id IS NOT NULL",
+            ACTIVE_JOB_STATES).fetchall()]
 
     # ------------------------------------------------------------------
     # fsck helpers (integrity checks over the raw tables)
@@ -497,13 +728,18 @@ class StoreDB:
     # ------------------------------------------------------------------
     def gc(self, keep_runs: int) -> tuple[int, int]:
         """Drop all but the newest ``keep_runs`` runs, then every
-        outcome row no kept run references.  Returns ``(runs_removed,
+        outcome row no kept run references.  Runs referenced by a
+        queued/leased/running job are always kept, whatever their
+        age — collecting them would strand the partial evidence a
+        re-claimed job resumes from.  Returns ``(runs_removed,
         outcomes_removed)``; blob sweeping is the caller's job (it
         owns the filesystem side)."""
         with self._conn:
             keep = [row[0] for row in self._conn.execute(
                 "SELECT run_id FROM runs ORDER BY run_id DESC"
                 " LIMIT ?", (keep_runs,))]
+            keep += [run_id for run_id in self.active_job_run_ids()
+                     if run_id not in keep]
             if keep:
                 marks = ",".join("?" * len(keep))
                 removed_runs = self._conn.execute(

@@ -22,13 +22,22 @@ code      invariant violated                          repair action
 ``E406``  anomaly rows reference recorded runs        delete rows
 ``E407``  every blob is referenced (warning)          delete blob (GC)
 ``E408``  runs finished (warning — resumable)         none
+``E410``  job leases have live heartbeats             release lease
+          (warning — any daemon re-claims)            back to queue
+``E411``  active jobs reference recorded runs         clear reference
+``E412``  dead-letter jobs' evidence still exists     delete job row
 ========  ==========================================  ================
+
+The ``E41x`` sections audit the job queue (``repro.service.queue``)
+that shares this index; queue repairs touch exactly the broken rows,
+never healthy neighbours.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import time
 from dataclasses import dataclass, field
 
 from ..diagnostics import DiagnosticReport
@@ -219,4 +228,50 @@ def fsck_store(cache: CampaignCache, *, repair: bool = False,
                     f"(status 'running')",
             hint="a re-run over the same environment resumes from "
                  "its completed outcomes")
+
+    # E410 — stale job leases (a daemon died mid-job; warning: any
+    # running `soc-fmea serve` re-claims these on its own)
+    stale = cache.db.stale_job_leases(time.time())
+    for job in stale:
+        collect.warn(
+            "E410", f"job #{job['job_id']}'s lease (owner "
+                    f"{job['lease_owner']}) expired without a "
+                    f"heartbeat — its worker died",
+            hint="any 'soc-fmea serve' re-claims it; repair releases "
+                 "it back to the queue now")
+    if repair and stale:
+        released = cache.db.release_job_leases(
+            [job["job_id"] for job in stale])
+        result.repaired.append(
+            f"released {released} stale job lease(s) back to the "
+            f"queue")
+
+    # E411 — active jobs referencing vanished runs
+    orphans_jobs = cache.db.orphan_job_rows()
+    for job in orphans_jobs:
+        collect.error(
+            "E411", f"job #{job['job_id']} references unrecorded "
+                    f"run #{job['run_id']}",
+            hint="repair clears the reference; the job re-simulates "
+                 "what the store no longer holds")
+    if repair and orphans_jobs:
+        cleared = cache.db.clear_job_runs(
+            [job["job_id"] for job in orphans_jobs])
+        result.repaired.append(
+            f"cleared the run reference of {cleared} job(s)")
+
+    # E412 — dead-letter jobs whose recorded evidence was collected
+    gone = cache.db.dead_jobs_missing_runs()
+    for job in gone:
+        collect.error(
+            "E412", f"dead-letter job #{job['job_id']}'s recorded "
+                    f"run #{job['run_id']} was garbage-collected",
+            hint="repair deletes the job row — re-submit the "
+                 "campaign if it is still wanted")
+    if repair and gone:
+        removed = cache.db.delete_jobs(
+            [job["job_id"] for job in gone])
+        result.repaired.append(
+            f"deleted {removed} dead-letter job(s) with collected "
+            f"evidence")
     return result

@@ -36,9 +36,12 @@ class StoreStats:
     db_bytes: int
     anomalies: int = 0
     shard_attempts: int = 0
+    jobs: int = 0
+    active_jobs: int = 0
+    dead_jobs: int = 0
 
     def as_pairs(self) -> list[tuple[str, object]]:
-        return [
+        pairs = [
             ("store", self.root),
             ("recorded runs", self.runs),
             ("completed runs", self.done_runs),
@@ -50,13 +53,26 @@ class StoreStats:
             ("blob bytes", self.blob_bytes),
             ("index bytes", self.db_bytes),
         ]
+        if self.jobs:
+            pairs += [
+                ("queued campaign jobs", self.jobs),
+                ("active jobs", self.active_jobs),
+                ("dead-letter jobs", self.dead_jobs),
+            ]
+        return pairs
 
 
 def store_stats(cache: CampaignCache) -> StoreStats:
+    from .db import ACTIVE_JOB_STATES
     runs = cache.db.runs()
     done = sum(1 for r in runs if r["status"] == "done")
     db_path = cache.db.path
+    job_counts = cache.db.job_counts()
     return StoreStats(
+        jobs=sum(job_counts.values()),
+        active_jobs=sum(job_counts.get(state, 0)
+                        for state in ACTIVE_JOB_STATES),
+        dead_jobs=job_counts.get("dead", 0),
         root=str(cache.root),
         runs=len(runs),
         done_runs=done,
