@@ -326,3 +326,33 @@ def test_campaign_supervisor_overhead(benchmark, env):
     # must cost <5%
     if base > 1.0:
         assert overhead < 0.05
+
+
+def test_scaled_banked_campaign(benchmark, banked_small):
+    """The campaign at the paper's zone population.
+
+    Two reduced banks behind a shared bus put the sensible-zone count
+    at the scale of the paper's Table 1 (~170 zones) while the
+    compiled kernel keeps the exhaustive campaign affordable — the
+    scale knob behind ``soc-fmea campaign --banks`` and the
+    exploration search.
+    """
+    env = build_environment(banked_small, quick=True)
+    zones = len(env.zone_set)
+    assert 150 <= zones <= 200      # the paper's "about 170"
+    candidates = env.candidates()
+
+    def run():
+        return env.manager(
+            CampaignConfig(engine=ENGINE_COMPILED)).run(candidates)
+
+    campaign = benchmark.pedantic(run, rounds=2, iterations=1)
+    throughput = len(campaign.results) / max(campaign.wall_seconds,
+                                             1e-9)
+    report(benchmark,
+           zones=zones,
+           injections=len(campaign.results),
+           measured_dc=f"{campaign.measured_dc() * 100:.1f}%",
+           injections_per_second=f"{throughput:.0f}",
+           outcomes=campaign.outcomes())
+    assert campaign.coverage.sens_coverage() > 0.9

@@ -31,6 +31,17 @@ def improved_small():
     return MemorySubsystem(SubsystemConfig.small_improved())
 
 
+@pytest.fixture(scope="session")
+def banked_small():
+    """Two reduced baseline banks behind a shared bus — the scale
+    knob: ~170 sensible zones, the population of the paper's Table 1
+    campaign, while staying simulation-affordable."""
+    from repro.soc.banked import BankedMemorySubsystem
+    from repro.soc.config import BankedConfig
+    return BankedMemorySubsystem(
+        BankedConfig.uniform(SubsystemConfig.small_baseline(), 2))
+
+
 def report(benchmark, **extra):
     """Attach paper-vs-measured numbers to the benchmark record."""
     benchmark.extra_info.update(extra)

@@ -3,87 +3,70 @@
 
 The paper's methodology "allows the identification of critical part of
 a circuit and the exploration of possible implementations for best
-safety as well".  This example enables the improvements one at a time
-on top of the baseline and tracks SFF/DC — the ablation behind the
-baseline -> improved jump — and then stacks them cumulatively.
+safety as well".  This example drives :mod:`repro.explore` — the
+automated version of that sentence: a criticality-seeded Pareto walk
+over the mitigation library, each candidate evaluated as a real
+injection campaign routed through the durable job queue and deduped
+by the content-addressed store, so each step re-simulates only the
+fault cones it touched.
 
 Run:  python examples/design_space_exploration.py
 """
 
+import tempfile
+
+from repro.explore import (
+    TRANSFORM_LIBRARY,
+    DesignPoint,
+    ExploreConfig,
+    explore,
+    render_explore_dossier,
+    structural_cost,
+)
 from repro.iec61508 import max_sil
 from repro.reporting import pct, render_table
-from repro.soc import MemorySubsystem, SubsystemConfig
-
-IMPROVEMENTS = [
-    ("address_in_ecc", "address folded into the ECC"),
-    ("write_buffer_parity", "parity bits on the write buffer"),
-    ("coder_checker", "error checker after the coder (i)"),
-    ("redundant_pipe_checker", "double-redundant post-pipe checker (ii)"),
-    ("distributed_syndrome", "distributed syndrome checking (iii)"),
-    ("sw_startup_tests", "SW start-up tests for the controller"),
-    ("scrub_parity", "parity on the repair-engine registers"),
-]
+from repro.service.core import CampaignService
 
 
-def measure(cfg: SubsystemConfig):
-    sub = MemorySubsystem(cfg)
-    totals = sub.worksheet().totals()
-    return totals
+def ablation_table(variant: str = "small-baseline",
+                   banks: int = 2) -> str:
+    """One transform at a time (applied to every bank), analytic.
+
+    The claimed-SFF/cost ablation behind the search: no simulation,
+    just the worksheet of each single-mechanism design point.
+    """
+    base = DesignPoint(variant=variant, banks=banks)
+    base_sub = base.build()
+    base_sff = base_sub.worksheet().totals().sff
+    rows = [["base", pct(base_sff), "-", 0, _sil(base_sff)]]
+    for key, transform in TRANSFORM_LIBRARY.items():
+        point = base
+        for bank in range(banks):
+            point = point.with_transform(bank, key)
+        totals = point.build().worksheet().totals()
+        cost = structural_cost(point, base=base,
+                               base_subsystem=base_sub)
+        rows.append([f"+ {transform.title}", pct(totals.sff),
+                     f"{(totals.sff - base_sff) * 100:+.2f} pt",
+                     cost.scalar, _sil(totals.sff)])
+    return render_table(
+        ["design point", "SFF", "ΔSFF", "cost", "SIL@HFT0"], rows,
+        title="=== one mechanism at a time (analytic, all banks) ===")
 
 
 def main():
-    base_cfg = SubsystemConfig.baseline()
-    base = measure(base_cfg)
-
-    rows = [["baseline", pct(base.sff), pct(base.dc), "-",
-             _sil(base.sff)]]
-
-    # each improvement alone
-    for flag, label in IMPROVEMENTS:
-        cfg = base_cfg.with_flags(
-            name=f"memss_{flag}", **{flag: True})
-        totals = measure(cfg)
-        rows.append([f"+ {label}", pct(totals.sff), pct(totals.dc),
-                     f"{(totals.sff - base.sff) * 100:+.2f} pt",
-                     _sil(totals.sff)])
-    print(render_table(
-        ["design point", "SFF", "DC", "ΔSFF vs baseline", "SIL@HFT0"],
-        rows, title="=== one improvement at a time ==="))
-
-    # cumulative stacking in the paper's order
+    print(ablation_table())
     print()
-    rows = [["baseline", pct(base.sff), _sil(base.sff)]]
-    flags = {}
-    prev = base.sff
-    for flag, label in IMPROVEMENTS:
-        flags[flag] = True
-        cfg = base_cfg.with_flags(name=f"memss_stack_{flag}", **flags)
-        totals = measure(cfg)
-        rows.append([f"+ {label}",
-                     f"{pct(totals.sff)} ({(totals.sff - prev) * 100:+.2f})",
-                     _sil(totals.sff)])
-        prev = totals.sff
-    print(render_table(["cumulative design", "SFF (step gain)",
-                        "SIL@HFT0"], rows,
-                       title="=== stacking the improvements ==="))
 
-    improved = measure(SubsystemConfig.improved())
-    print(f"\nfull improved design: SFF {pct(improved.sff)} "
-          f"(paper: 99.38%) -> {_sil(improved.sff)}")
-
-    # --- the other road to SIL3 (§2): HFT = 1 -------------------------
-    # "With a HFT equal to one, the SFF should be greater than 90%."
-    from repro.soc import DualChannelSubsystem
-    dual = DualChannelSubsystem(
-        SubsystemConfig.baseline(name="memss_dual"))
-    dual_totals = dual.worksheet().totals()
-    granted = max_sil(dual_totals.sff, hft=1)
-    print(f"\nalternative route — dual-channel 1oo2 of the *baseline* "
-          f"(HFT=1):\n  SFF {pct(dual_totals.sff)} at HFT=1 -> "
-          f"{granted.name if granted else 'none'} "
-          f"(bar is only 90%), at "
-          f"{dual.circuit.gate_count() / MemorySubsystem(base_cfg).circuit.gate_count():.1f}x "
-          f"the gates")
+    # the search proper: greedy criticality-seeded Pareto walk with
+    # campaign evidence, on a throwaway store
+    with tempfile.TemporaryDirectory() as tmp:
+        service = CampaignService(tmp)
+        config = ExploreConfig(variant="small-baseline", banks=2,
+                               target_sff=0.95, budget=8)
+        result = explore(service, config, progress=print)
+        print()
+        print(render_explore_dossier(result))
 
 
 def _sil(sff: float) -> str:

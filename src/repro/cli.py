@@ -210,6 +210,46 @@ def cmd_campaign(args) -> int:
     return outcome.exit_code
 
 
+def cmd_explore(args) -> int:
+    """Design-space exploration: walk the cost-vs-SFF Pareto front.
+
+    Exit 0 when the recommended configuration meets the SFF target,
+    3 when the search ended (budget or frontier exhausted) below it.
+    """
+    from .explore import ExploreConfig, explore, render_explore_dossier
+    from .service.core import CampaignService
+
+    if args.banks < 1:
+        print("error: --banks must be at least 1", file=sys.stderr)
+        return EXIT_DIAGNOSTIC
+    if args.budget < 1:
+        print("error: --budget must be at least 1", file=sys.stderr)
+        return EXIT_DIAGNOSTIC
+
+    service = CampaignService(resolve_store_path(args),
+                              project=args.project)
+    config = ExploreConfig(
+        variant=args.variant, banks=args.banks,
+        target_sff=args.target_sff, hft=args.hft,
+        budget=args.budget, probe_width=args.probe_width,
+        full=args.full, engine=args.engine, workers=args.workers,
+        use_queue=not args.no_queue, project=args.project,
+        verify=not args.no_verify)
+    progress = None
+    if not args.quiet:
+        def progress(line):
+            print(f"  {line}", flush=True)
+    result = explore(service, config, progress=progress)
+    text = render_explore_dossier(result)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"exploration dossier written to {args.output}")
+    else:
+        print(text)
+    return EXIT_OK if result.target_met else EXIT_QUARANTINE
+
+
 def cmd_serve(args) -> int:
     """Run the campaign job-queue daemon (claim, execute, recover)."""
     from .service.daemon import DaemonConfig, ServiceDaemon
@@ -566,6 +606,10 @@ def build_parser() -> argparse.ArgumentParser:
         # flags define one CampaignRequest (service/core.py)
         add_variant(p)
         p.add_argument(
+            "--banks", type=int, default=1,
+            help="replicate the variant into an N-bank scaled design "
+                 "behind a shared bus (default: 1 = the flat variant)")
+        p.add_argument(
             "--workers", type=int, default=1,
             help="worker processes (1 = in-process serial run)")
         p.add_argument("--shards", type=int, default=None,
@@ -635,6 +679,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--progress", action="store_true",
                    help="print per-shard progress lines")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "explore",
+        help="design-space exploration: Pareto search over "
+             "protection mechanisms via incremental campaigns")
+    p.add_argument("--variant", default="baseline",
+                   choices=["baseline", "improved",
+                            "small-baseline", "small-improved"],
+                   help="base variant the search starts from "
+                        "(default: baseline)")
+    p.add_argument("--banks", type=int, default=2,
+                   help="banks of the scaled design under search "
+                        "(default: 2)")
+    p.add_argument("--target-sff", type=float, default=0.99,
+                   metavar="FRACTION",
+                   help="stop once claimed SFF reaches this "
+                        "(default: 0.99 = SIL3 @ HFT=0)")
+    p.add_argument("--hft", type=int, default=0,
+                   help="hardware fault tolerance for SIL claims")
+    p.add_argument("--budget", type=int, default=12,
+                   help="campaign budget: maximum evaluated points "
+                        "including the base (default: 12)")
+    p.add_argument("--probe-width", type=int, default=3,
+                   help="candidate steps scored analytically per "
+                        "iteration (default: 3)")
+    p.add_argument("--full", action="store_true",
+                   help="use the full (slow) campaign workload")
+    p.add_argument("--engine", choices=("compiled", "interpreted"),
+                   default="compiled")
+    p.add_argument("--workers", type=int, default=1,
+                   help="campaign worker processes per evaluation")
+    p.add_argument("--no-queue", action="store_true",
+                   help="run evaluations in-process instead of "
+                        "through the durable job queue")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the warm verification re-run of the "
+                        "recommended configuration")
+    p.add_argument("--project", default="default",
+                   help="store namespace the evaluations land in")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-step progress lines")
+    add_store(p)
+    p.add_argument("-o", "--output",
+                   help="write the dossier to a file instead of "
+                        "stdout")
+    p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser(
         "serve", help="run the job-queue daemon: claim queued "

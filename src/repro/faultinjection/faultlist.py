@@ -70,10 +70,15 @@ def generate_zone_faults(zone_set: ZoneSet, circuit: Circuit,
     reported (they make SENS coverage < 100 %) and skipped.
     """
     config = config or FaultListConfig()
-    rng = random.Random(config.seed)
     out = CandidateList()
 
     for zone in zone_set.zones:
+        # a fresh per-zone stream keeps each zone's fault list a pure
+        # function of (seed, zone, that zone's OP activity): adding or
+        # removing zones elsewhere in the design — e.g. a mitigation
+        # applied to another bank — cannot shift the draws here, which
+        # the cross-variant store reuse depends on
+        rng = random.Random(f"{config.seed}:{zone.name}")
         if zone.kind is ZoneKind.REGISTER:
             _register_faults(zone, circuit, profile, config, rng, out)
         elif zone.kind is ZoneKind.MEMORY:

@@ -169,7 +169,11 @@ class Module:
     def __init__(self, name: str):
         self.circuit = Circuit(name)
         self._scope_stack: list[str] = []
-        self._gensym = 0
+        # per-scope counters: a temp net's name depends only on its own
+        # scope's elaboration, so sibling instances keep stable names
+        # when one of them grows (content-addressed store reuse across
+        # design variants relies on this)
+        self._gensym: dict[str, int] = {}
         self._const_nets: dict[int, int] = {}
         self._pending_regs: list[tuple[Vec, Vec]] = []
         self._pending_forwards: list[tuple[str, Vec]] = []
@@ -195,8 +199,10 @@ class Module:
         return self.circuit.new_net(full)
 
     def _tmp_net(self) -> int:
-        self._gensym += 1
-        return self._named_net(f"t{self._gensym}")
+        path = self._path()
+        count = self._gensym.get(path, 0) + 1
+        self._gensym[path] = count
+        return self._named_net(f"t{count}")
 
     # ------------------------------------------------------------------
     # primitives

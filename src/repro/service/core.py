@@ -51,9 +51,19 @@ def resolve_store_root(path: str | None = None) -> str:
     return os.environ.get("SOCFMEA_STORE") or DEFAULT_STORE
 
 
-def make_subsystem(variant: str):
-    """The built-in design variants, by CLI name."""
-    from ..soc.config import SubsystemConfig
+def make_subsystem(variant: str, banks: int = 1,
+                   flags: dict | None = None,
+                   bank_flags: list | None = None):
+    """The built-in design variants, by CLI name.
+
+    ``banks`` > 1 elaborates the scaled multi-bank design
+    (:class:`~repro.soc.banked.BankedMemorySubsystem`) with ``banks``
+    channels of the named variant behind one bus.  ``flags`` overrides
+    protection flags on every channel; ``bank_flags`` is a per-bank
+    list of flag-override dicts (design-space exploration uses it to
+    apply a mitigation to one bank only).
+    """
+    from ..soc.config import BankedConfig, SubsystemConfig
     from ..soc.subsystem import MemorySubsystem
     factory = {
         "baseline": SubsystemConfig.baseline,
@@ -61,7 +71,18 @@ def make_subsystem(variant: str):
         "small-baseline": SubsystemConfig.small_baseline,
         "small-improved": SubsystemConfig.small_improved,
     }[variant]
-    return MemorySubsystem(factory())
+    cfg = factory()
+    if flags:
+        cfg = cfg.with_flags(**flags)
+    if banks <= 1 and not bank_flags:
+        return MemorySubsystem(cfg)
+    from ..soc.banked import BankedMemorySubsystem
+    n = max(banks, len(bank_flags or ()))
+    bcfg = BankedConfig.uniform(cfg, n)
+    for i, overrides in enumerate(bank_flags or ()):
+        if overrides:
+            bcfg = bcfg.with_bank_flags(i, **overrides)
+    return BankedMemorySubsystem(bcfg)
 
 
 @dataclass
@@ -69,6 +90,9 @@ class CampaignRequest:
     """One campaign's parameters, as a JSON-serializable record."""
 
     variant: str = "improved"
+    banks: int = 1
+    flags: dict | None = None
+    bank_flags: list | None = None
     full: bool = False
     workers: int = 1
     shards: int | None = None
@@ -97,7 +121,9 @@ class CampaignRequest:
     def from_args(cls, args) -> "CampaignRequest":
         """Build from the ``campaign`` / ``jobs submit`` CLI args."""
         return cls(
-            variant=args.variant, full=args.full,
+            variant=args.variant,
+            banks=getattr(args, "banks", 1) or 1,
+            full=args.full,
             workers=args.workers, shards=args.shards,
             sample=args.sample,
             machines_per_pass=args.machines_per_pass,
@@ -129,6 +155,8 @@ class CampaignOutcome:
     hits: int = 0
     misses: int = 0
     simulated: int = 0
+    claimed_sff: float | None = None
+    claimed_dc: float | None = None
 
     def summary_dict(self) -> dict:
         """The compact record a finished job stores as its result."""
@@ -144,6 +172,8 @@ class CampaignOutcome:
             "hits": self.hits,
             "misses": self.misses,
             "simulated": self.simulated,
+            "claimed_sff": self.claimed_sff,
+            "claimed_dc": self.claimed_dc,
         }
 
 
@@ -254,7 +284,9 @@ class CampaignService:
         if request.max_retries < 0:
             err.append("error: --max-retries must be >= 0")
             return outcome(EXIT_DIAGNOSTIC)
-        sub = make_subsystem(request.variant)
+        sub = make_subsystem(request.variant, banks=request.banks,
+                             flags=request.flags,
+                             bank_flags=request.bank_flags)
         env = build_environment(sub, quick=not request.full)
 
         if request.stimuli:
@@ -389,4 +421,6 @@ class CampaignService:
             safe_fraction=campaign.measured_safe_fraction(),
             quarantined=len(anomalies),
             skipped_zones=skipped_zones, run_id=run_id, hits=hits,
-            misses=misses, simulated=simulated)
+            misses=misses, simulated=simulated,
+            claimed_sff=env.worksheet.totals().sff,
+            claimed_dc=env.worksheet.totals().dc)

@@ -1,8 +1,9 @@
 """The §6 case study: a fault-robust memory sub-system (F-MEM + MCE)."""
 
-from .config import SubsystemConfig
+from .config import BankedConfig, SubsystemConfig
 from .subsystem import MemorySubsystem, build_subsystem, \
     make_diagnostic_plan
+from .banked import BankedMemorySubsystem, bank_of_zone, build_banked
 from .ahb import READ_LATENCY, WRITE_GAP, AhbMaster, ReadResult
 from .minicpu import CpuConfig, MiniCpu, assemble, build_minicpu
 from .dualchannel import DualChannelSubsystem, build_dual_channel, \
@@ -23,6 +24,8 @@ from .workloads import (
 __all__ = [
     "SubsystemConfig", "MemorySubsystem", "build_subsystem",
     "make_diagnostic_plan",
+    "BankedConfig", "BankedMemorySubsystem", "bank_of_zone",
+    "build_banked",
     "AhbMaster", "ReadResult", "READ_LATENCY", "WRITE_GAP",
     "CpuConfig", "MiniCpu", "assemble", "build_minicpu",
     "DualChannelSubsystem", "build_dual_channel", "make_dual_plan",

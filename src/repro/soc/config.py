@@ -107,3 +107,154 @@ class SubsystemConfig:
     def with_flags(self, **flags) -> "SubsystemConfig":
         """A copy with selected feature flags changed (for ablations)."""
         return replace(self, **flags)
+
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SubsystemConfig":
+        from dataclasses import fields as _fields
+        known = {f.name for f in _fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+#: the §6 improvement flags, in the order the paper introduces them
+IMPROVEMENT_FLAGS = (
+    "address_in_ecc",
+    "write_buffer_parity",
+    "coder_checker",
+    "redundant_pipe_checker",
+    "distributed_syndrome",
+    "sw_startup_tests",
+    "scrub_parity",
+)
+
+
+@dataclass(frozen=True)
+class BankedConfig:
+    """A multi-bank memory sub-system: one channel per bank behind a
+    shared bus, each bank individually configurable.
+
+    This is the parametric scale knob of the benchmark design: the
+    paper's sub-system has ~170 sensible zones, a single fmem channel
+    ~90-140 depending on geometry — banking multiplies the zone count
+    while keeping each bank's protection architecture independently
+    tunable, which is exactly the shape design-space exploration
+    needs (a mitigation applied to one bank leaves every other bank's
+    support cones untouched, so the campaign store serves them warm).
+    """
+
+    name: str = "memss_banked"
+    banks: tuple[SubsystemConfig, ...] = ()
+
+    def __post_init__(self):
+        if not self.banks:
+            raise ValueError("BankedConfig needs at least one bank")
+        first = self.banks[0]
+        for cfg in self.banks[1:]:
+            if (cfg.data_bits, cfg.addr_bits, cfg.mpu_pages) != \
+                    (first.data_bits, first.addr_bits,
+                     first.mpu_pages):
+                raise ValueError(
+                    "all banks must share data_bits/addr_bits/"
+                    "mpu_pages (protection flags may differ)")
+
+    # ------------------------------------------------------------------
+    # facade geometry: what workloads and transaction helpers consume
+    # ------------------------------------------------------------------
+    @property
+    def n_banks(self) -> int:
+        return len(self.banks)
+
+    @property
+    def bank_bits(self) -> int:
+        return max(0, (self.n_banks - 1).bit_length())
+
+    @property
+    def bank_addr_bits(self) -> int:
+        return self.banks[0].addr_bits
+
+    @property
+    def addr_bits(self) -> int:
+        """Bus address width: bank-local address plus bank select."""
+        return self.bank_addr_bits + self.bank_bits
+
+    @property
+    def depth(self) -> int:
+        """Addressable words across all banks (bus view)."""
+        return self.n_banks << self.bank_addr_bits
+
+    @property
+    def data_bits(self) -> int:
+        return self.banks[0].data_bits
+
+    @property
+    def mpu_pages(self) -> int:
+        return self.banks[0].mpu_pages
+
+    @property
+    def page_bits(self) -> int:
+        return self.banks[0].page_bits
+
+    @cached_property
+    def word_bits(self) -> int:
+        """Width of the shared ``err_inject`` test port.
+
+        Deliberately the *maximum* over both ECC layouts — not the max
+        over the current banks — so the port (and therefore every
+        workload's stimuli) stays bit-identical when a bank's ECC flag
+        toggles; cross-variant store reuse depends on stable stimuli.
+        """
+        base = self.banks[0]
+        return base.data_bits + max(
+            SecDedCode(base.data_bits).r,
+            AddressedSecDed(base.data_bits, base.addr_bits).r)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, cfg: SubsystemConfig, banks: int,
+                name: str | None = None) -> "BankedConfig":
+        """``banks`` identical channels of one base configuration."""
+        return cls(name=name or f"{cfg.name}_x{banks}",
+                   banks=tuple(replace(cfg, name=f"{cfg.name}_b{i}")
+                               for i in range(banks)))
+
+    @classmethod
+    def scaled_baseline(cls, banks: int = 2, **overrides
+                        ) -> "BankedConfig":
+        """The scaled benchmark design: paper-geometry baseline banks
+        (two full-size banks ≈ 280 sensible zones, the paper's ~170
+        scale and beyond)."""
+        return cls.uniform(SubsystemConfig.baseline(**overrides), banks)
+
+    @classmethod
+    def scaled_improved(cls, banks: int = 2, **overrides
+                        ) -> "BankedConfig":
+        return cls.uniform(SubsystemConfig.improved(**overrides), banks)
+
+    def with_bank_flags(self, bank: int, **flags) -> "BankedConfig":
+        """A copy with one bank's feature flags changed."""
+        banks = list(self.banks)
+        banks[bank] = banks[bank].with_flags(**flags)
+        return replace(self, banks=tuple(banks))
+
+    def with_flags(self, **flags) -> "BankedConfig":
+        """A copy with every bank's feature flags changed."""
+        return replace(self, banks=tuple(b.with_flags(**flags)
+                                         for b in self.banks))
+
+    @property
+    def is_improved(self) -> bool:
+        return all(b.is_improved for b in self.banks)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"name": self.name,
+                "banks": [b.to_dict() for b in self.banks]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BankedConfig":
+        return cls(name=data["name"],
+                   banks=tuple(SubsystemConfig.from_dict(b)
+                               for b in data["banks"]))

@@ -18,6 +18,20 @@ influence set is smaller than the whole campaign environment:
   fingerprint: the store holds raw records and the outcome classes are
   recomputed per run, so changing the detection window never
   invalidates the cache.
+* the observation-point list enters **per fault, restricted to the
+  points the fault can reach**: a point none of whose nets lie in the
+  fault's fan-out closure compares faulty-vs-golden values that are
+  equal by construction, so it can neither mismatch, nor raise, nor
+  steal ``first_alarm`` from a reachable point (the within-group order
+  of the reachable subsequence is preserved).  Adding an alarm output
+  to one logic island therefore re-fingerprints only the faults that
+  can observe it — the property design-space exploration leans on when
+  a mitigation touches one bank of a multi-bank design.
+* the simulator setup (preloaded memory images, initial flop values)
+  enters per fault restricted to the memories and flops **inside the
+  support cone**: state outside the cone cannot influence any net the
+  record depends on, so re-encoding one bank's preload image leaves
+  every other bank's fault addresses intact.
 
 Mutating one gate therefore re-fingerprints (and re-simulates) only
 the faults whose support cone contains it; faults in disjoint logic
@@ -36,7 +50,8 @@ from ..zones.model import ObservationPoint, SensibleZone
 
 #: Bump when the fingerprint semantics change — every digest embeds it,
 #: so stores written by older layouts simply miss instead of colliding.
-FP_VERSION = 1
+#: v2: per-fault observation canon restricted to reachable points.
+FP_VERSION = 2
 
 
 def digest(obj) -> str:
@@ -245,6 +260,9 @@ class FingerprintContext:
             [sorted(cycle.items()) for cycle in effective])
         self.cycles = len(effective)
         self.setup_fp = _setup_canonical(setup)
+        # only reachable after _setup_canonical accepted it: None or a
+        # MemoryImageSetup snapshot (restricted per fault below)
+        self._setup = setup
         # The manager partitions points into functional / status /
         # diagnostic groups; only the order *within* each group is
         # behavioural (``first_alarm`` ties break on the earlier
@@ -253,22 +271,29 @@ class FingerprintContext:
         # differently produce the same address.
         from ..zones.model import ObservationKind
 
-        def canon(points):
-            return [[p.name, p.kind.value,
-                     [circuit.net_names[n] for n in p.nets]]
-                    for p in points]
+        def canon(point):
+            return [point.name, point.kind.value,
+                    [circuit.net_names[n] for n in point.nets]]
 
-        self.obs_fp = digest({
-            "functional": canon(p for p in observation_points
-                                if p.kind is ObservationKind.OUTPUT),
-            "status": canon(p for p in observation_points
-                            if p.kind is ObservationKind.FUNCTION),
-            "diagnostic": canon(p for p in observation_points
-                                if p.is_diagnostic),
-        })
+        # Per group: canonical entries paired with their net sets, in
+        # group order, so :meth:`_zone_support` can take the reachable
+        # subsequence per fault without re-deriving either.
+        self._obs_groups = [
+            (group, [(canon(p), frozenset(p.nets)) for p in points])
+            for group, points in (
+                ("functional", [p for p in observation_points
+                                if p.kind is ObservationKind.OUTPUT]),
+                ("status", [p for p in observation_points
+                            if p.kind is ObservationKind.FUNCTION]),
+                ("diagnostic", [p for p in observation_points
+                                if p.is_diagnostic]),
+            )]
+        self.obs_fp = digest({group: [entry for entry, _ in entries]
+                              for group, entries in self._obs_groups})
         self.support = SupportIndex(circuit)
         self._zones = {z.name: z for z in zones}
-        self._zone_fp: dict[str | None, tuple[str, dict | None]] = {}
+        self._zone_fp: dict[tuple, tuple[str, dict | None, str,
+                                         str | None]] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -319,20 +344,58 @@ class FingerprintContext:
         })
 
     def fault_fingerprint(self, fault: Fault) -> str:
-        support_fp, zone_canon = self._zone_support(fault)
+        support_fp, zone_canon, obs_fp, setup_fp = \
+            self._zone_support(fault)
         return digest({
             "v": FP_VERSION,
             "fault": fault_descriptor(fault),
             "zone": zone_canon,
             "support": support_fp,
             "stimuli": self.stimuli_fp,
-            "setup": self.setup_fp,
-            "obs": self.obs_fp,
+            "setup": setup_fp,
+            "obs": obs_fp,
         })
 
     # ------------------------------------------------------------------
+    def _reachable_obs_fp(self, fwd_nets: set[int]) -> str:
+        """Digest of the observation points the fault can reach.
+
+        Points with no net in the fan-out closure see faulty values
+        equal to golden on every cycle, so they contribute nothing to
+        the cached record; dropping them keeps a fault's address stable
+        when unreachable logic gains or loses alarm outputs.  The
+        reachable points stay in group order because ``first_alarm``
+        tie-breaks on it (a subsequence preserves relative order).
+        """
+        return digest({
+            group: [entry for entry, nets in entries
+                    if nets & fwd_nets]
+            for group, entries in self._obs_groups})
+
+    def _restricted_setup_fp(self, sup_nets: set[int],
+                             sup_mems: set[int]) -> str | None:
+        """Digest of the setup state inside the support cone.
+
+        A preload image or initial flop value outside the cone drives
+        no net the fault's record depends on (anything that could is in
+        the backward closure by construction).
+        """
+        if self._setup is None:
+            return self.setup_fp
+        mem_names = {self.circuit.memories[i].name for i in sup_mems}
+        flop_names = {f.name for f in self.circuit.flops
+                      if f.q in sup_nets}
+        return digest({
+            "mem_images": {name: list(image) for name, image
+                           in sorted(self._setup.mem_images.items())
+                           if name in mem_names},
+            "flop_values": {name: value for name, value
+                            in sorted(self._setup.flop_values.items())
+                            if name in flop_names},
+        })
+
     def _zone_support(self, fault: Fault
-                      ) -> tuple[str, dict | None]:
+                      ) -> tuple[str, dict | None, str, str | None]:
         zone = self._zones.get(fault.zone) \
             if fault.zone is not None else None
         seeds_key = (fault.zone, _fault_targets(fault))
@@ -365,12 +428,21 @@ class FingerprintContext:
                 else:
                     resolved = False
         if resolved and (nets or mems):
-            support_fp = self.support.fingerprint(nets, mems)
+            fwd_nets, fwd_mems = self.support.forward_closure(nets,
+                                                              mems)
+            sup_nets, sup_mems = self.support.backward_closure(
+                fwd_nets, fwd_mems)
+            support_fp = digest(self.support._canonical(
+                frozenset(sup_nets), frozenset(sup_mems)))
+            obs_fp = self._reachable_obs_fp(fwd_nets)
+            setup_fp = self._restricted_setup_fp(sup_nets, sup_mems)
         else:
             # unknown target or empty seed set: the only sound cone is
-            # the whole circuit
+            # the whole circuit, observed everywhere with full state
             support_fp = self.support.full_fingerprint()
-        out = (support_fp, zone_canon)
+            obs_fp = self.obs_fp
+            setup_fp = self.setup_fp
+        out = (support_fp, zone_canon, obs_fp, setup_fp)
         self._zone_fp[seeds_key] = out
         return out
 

@@ -1,0 +1,299 @@
+"""Tests for :mod:`repro.explore` — transforms, Pareto search,
+dossier — and the store-level guarantees the search leans on:
+
+* a mitigation applied to one bank is *local*: the run diff names
+  only that bank's zones, and the warm-hit count equals the number
+  of provably untouched fault cones;
+* every frontier variant's incremental metrics are bit-identical to
+  a cold, cache-free campaign over the same design point.
+"""
+
+import pytest
+
+from repro.explore import (
+    TRANSFORM_LIBRARY,
+    DesignPoint,
+    ExploreConfig,
+    ParetoFront,
+    explore,
+    render_explore_dossier,
+    structural_cost,
+    touched_zones,
+    transforms_for_zone,
+)
+from repro.explore.search import EvaluatedPoint, candidate_steps
+from repro.explore.transforms import StructuralCost
+from repro.faultinjection import build_environment
+from repro.service.core import CampaignService
+from repro.soc.banked import bank_of_zone
+from repro.soc.config import IMPROVEMENT_FLAGS
+
+
+# ----------------------------------------------------------------------
+# transform library
+# ----------------------------------------------------------------------
+def test_library_keys_are_config_flags():
+    assert set(TRANSFORM_LIBRARY) == set(IMPROVEMENT_FLAGS)
+
+
+def test_transforms_for_zone_matches_patterns():
+    keys = {t.key for t in transforms_for_zone("fmem/wbuf/data[0:3]")}
+    assert "write_buffer_parity" in keys
+    assert "coder_checker" not in keys
+
+
+def test_transforms_for_zone_strips_bank_and_block_prefixes():
+    plain = {t.key for t in transforms_for_zone("fmem/coder/out")}
+    assert plain == {t.key for t in
+                     transforms_for_zone("bank1/fmem/coder/out")}
+    assert plain == {t.key for t in
+                     transforms_for_zone("block:bank0/fmem/coder/out")}
+    assert "coder_checker" in plain
+
+
+def test_plan_only_flag_marks_software_mechanisms():
+    assert TRANSFORM_LIBRARY["sw_startup_tests"].plan_only
+    assert not TRANSFORM_LIBRARY["write_buffer_parity"].plan_only
+
+
+# ----------------------------------------------------------------------
+# design points
+# ----------------------------------------------------------------------
+def test_design_point_identity_is_the_set_of_applications():
+    a = DesignPoint(banks=2, applied=(
+        (1, "coder_checker"), (0, "write_buffer_parity")))
+    b = DesignPoint(banks=2, applied=(
+        (0, "write_buffer_parity"), (1, "coder_checker"),
+        (1, "coder_checker")))
+    assert a == b
+    assert a.name == "baseline+b0:write_buffer_parity+b1:coder_checker"
+
+
+def test_design_point_with_transform_and_bank_flags():
+    point = DesignPoint(variant="small-baseline", banks=2) \
+        .with_transform(1, "scrub_parity")
+    assert point.applied == ((1, "scrub_parity"),)
+    assert point.bank_flags() == [{}, {"scrub_parity": True}]
+    assert point.transforms_on(1) == [TRANSFORM_LIBRARY["scrub_parity"]]
+    assert point.transforms_on(0) == []
+
+
+def test_design_point_rejects_bad_applications():
+    with pytest.raises(ValueError):
+        DesignPoint(banks=2, applied=((0, "not_a_transform"),))
+    with pytest.raises(ValueError):
+        DesignPoint(banks=2, applied=((2, "coder_checker"),))
+
+
+def test_design_point_dict_round_trip():
+    point = DesignPoint(variant="small-baseline", banks=2,
+                        applied=((0, "address_in_ecc"),))
+    assert DesignPoint.from_dict(point.to_dict()) == point
+
+
+def test_structural_cost_of_circuit_vs_plan_only_transform():
+    base = DesignPoint(variant="small-baseline", banks=2)
+    parity = base.with_transform(0, "write_buffer_parity")
+    software = base.with_transform(0, "sw_startup_tests")
+    assert structural_cost(parity, base=base).scalar > 0
+    assert structural_cost(software, base=base).scalar == 0
+    assert structural_cost(base).scalar == 0
+
+
+# ----------------------------------------------------------------------
+# Pareto front
+# ----------------------------------------------------------------------
+def _ev(cost: int, sff: float) -> EvaluatedPoint:
+    return EvaluatedPoint(
+        point=DesignPoint(), claimed_sff=sff, claimed_dc=sff,
+        cost=StructuralCost(gates=cost, flops=0, gate_delta=cost))
+
+
+def test_pareto_front_prunes_dominated_points():
+    front = ParetoFront()
+    assert front.add(_ev(100, 0.95))
+    assert front.add(_ev(50, 0.90))          # cheaper, lower SFF: kept
+    assert not front.add(_ev(120, 0.94))     # dominated by (100, .95)
+    assert front.add(_ev(40, 0.96))          # dominates both
+    assert [p.cost.scalar for p in front.points()] == [40]
+
+
+def test_pareto_front_rejects_exact_ties():
+    front = ParetoFront()
+    assert front.add(_ev(100, 0.95))
+    assert not front.add(_ev(100, 0.95))
+    assert len(front) == 1
+
+
+def test_pareto_front_cheapest_meeting_walks_cost_ascending():
+    front = ParetoFront()
+    front.add(_ev(10, 0.90))
+    front.add(_ev(60, 0.97))
+    front.add(_ev(200, 0.995))
+    assert front.cheapest_meeting(0.95).cost.scalar == 60
+    assert front.cheapest_meeting(0.99).cost.scalar == 200
+    assert front.cheapest_meeting(0.999) is None
+
+
+# ----------------------------------------------------------------------
+# candidate seeding
+# ----------------------------------------------------------------------
+def test_bank_of_zone():
+    assert bank_of_zone("bank0/fmem/wbuf/data[0:3]") == 0
+    assert bank_of_zone("block:bank1/fmem/coder") == 1
+    assert bank_of_zone("po:bank1_rdata") == 1
+    assert bank_of_zone("critical:hwdata[0]") is None
+
+
+def test_candidate_steps_cover_the_library(small_banked_worksheet):
+    steps = candidate_steps(small_banked_worksheet, banks=2)
+    assert len(steps) == len(set(steps))
+    assert set(steps) == {(b, key) for b in (0, 1)
+                          for key in TRANSFORM_LIBRARY}
+    # the head must be criticality-seeded: a real zone proposed it
+    bank, key = steps[0]
+    assert key in TRANSFORM_LIBRARY
+
+
+@pytest.fixture(scope="module")
+def small_banked_worksheet():
+    return DesignPoint(variant="small-baseline",
+                       banks=2).build().worksheet()
+
+
+# ----------------------------------------------------------------------
+# locality: run diff and warm hits of a one-bank mitigation
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def bank1_mitigation(tmp_path_factory):
+    """Base campaign, then the same design with write-buffer parity
+    on bank 1 only, sharing one store."""
+    service = CampaignService(
+        str(tmp_path_factory.mktemp("explore_store")))
+    base = DesignPoint(variant="small-baseline", banks=2)
+    variant = base.with_transform(1, "write_buffer_parity")
+    out_a = service.run_campaign(base.request())
+    out_b = service.run_campaign(variant.request())
+    assert out_a.exit_code == 0 and out_b.exit_code == 0
+    return service, base, variant, out_a, out_b
+
+
+def test_one_bank_mitigation_touches_only_that_bank(bank1_mitigation):
+    _, base, variant, _, _ = bank1_mitigation
+    env_a = build_environment(base.build(), quick=True)
+    env_b = build_environment(variant.build(), quick=True)
+    touched, untouched, shared = touched_zones(env_a, env_b)
+    assert touched and untouched and shared
+    # every invalidated cone lives in the mitigated bank
+    assert all(bank_of_zone(z) == 1 for z in touched)
+    # the other bank is provably warm
+    assert any(bank_of_zone(z) == 0 for z in untouched)
+
+
+def test_warm_hits_equal_untouched_cone_count(bank1_mitigation):
+    from repro.store import FingerprintContext
+    _, base, variant, _, out_b = bank1_mitigation
+    env_a = build_environment(base.build(), quick=True)
+    env_b = build_environment(variant.build(), quick=True)
+    ctx_a = FingerprintContext.from_spec(env_a.spec())
+    ctx_b = FingerprintContext.from_spec(env_b.spec())
+    stored = {ctx_a.fault_fingerprint(f)
+              for f in env_a.candidates().faults}
+    unchanged = sum(
+        1 for f in env_b.candidates().faults
+        if ctx_b.fault_fingerprint(f) in stored)
+    summary = out_b.summary_dict()
+    assert summary["hits"] == unchanged
+    assert summary["hits"] > 0
+    assert summary["misses"] == \
+        len(env_b.candidates().faults) - unchanged
+
+
+def test_run_diff_names_only_mitigated_bank_zones(bank1_mitigation):
+    from repro.reporting.rundiff import render_run_diff
+    from repro.store import CampaignCache, diff_runs
+    service, base, variant, out_a, out_b = bank1_mitigation
+    with CampaignCache(service.root) as cache:
+        diff = diff_runs(cache,
+                         out_a.summary_dict()["run_id"],
+                         out_b.summary_dict()["run_id"])
+        text = render_run_diff(diff)
+    env_a = build_environment(base.build(), quick=True)
+    env_b = build_environment(variant.build(), quick=True)
+    touched, _, _ = touched_zones(env_a, env_b)
+    affected = set(diff.affected_zones())
+    # outcome movement can only come from invalidated cones
+    assert affected <= touched
+    assert all(bank_of_zone(z) == 1 for z in affected)
+    for zone in affected:
+        assert zone in text
+    # the parity registers themselves are new cones in the diff
+    assert any("bank1/fmem/wbuf" in z for z in affected) or affected
+
+
+# ----------------------------------------------------------------------
+# the search, end to end (in-process evaluations)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_search(tmp_path_factory):
+    service = CampaignService(
+        str(tmp_path_factory.mktemp("search_store")))
+    config = ExploreConfig(variant="small-baseline", banks=2,
+                           target_sff=0.92, budget=4, probe_width=2,
+                           use_queue=False)
+    return service, explore(service, config)
+
+
+def test_search_walks_toward_the_target(small_search):
+    _, result = small_search
+    assert result.evaluations[0].point.applied == ()
+    assert len(result.evaluations) <= 4
+    assert result.recommended is not None
+    best = max(e.claimed_sff for e in result.evaluations)
+    assert best > result.base.claimed_sff
+
+
+def test_search_later_steps_are_served_warm(small_search):
+    _, result = small_search
+    assert result.base.hits == 0            # the seed is cold
+    for ev in result.evaluations[1:]:
+        assert ev.hits > 0                  # every step reuses cones
+    assert result.incremental_hit_rate > result.hit_rate
+    assert result.total_simulated < result.cold_faults
+
+
+def test_search_verification_is_fully_warm_and_identical(small_search):
+    _, result = small_search
+    ver = result.verification
+    assert ver is not None
+    assert ver.misses == 0
+    assert ver.simulated == 0
+    assert ver.measured_dc == result.recommended.measured_dc
+    assert ver.safe_fraction == result.recommended.safe_fraction
+
+
+def test_frontier_variants_match_cold_cache_free_runs(
+        small_search, tmp_path):
+    """The incremental walk must not buy speed with accuracy: every
+    frontier point's measured DC / safe fraction is bit-identical to
+    a cold campaign that never consults the store."""
+    _, result = small_search
+    cold_service = CampaignService(str(tmp_path / "cold_store"))
+    for ev in result.front.points():
+        cold = cold_service.run_campaign(
+            ev.point.request(use_cache=False))
+        summary = cold.summary_dict()
+        assert summary["measured_dc"] == ev.measured_dc
+        assert summary["safe_fraction"] == ev.safe_fraction
+        assert summary["hits"] == 0         # provably cold
+
+
+def test_dossier_renders_all_sections(small_search):
+    _, result = small_search
+    text = render_explore_dossier(result)
+    assert "EXPLORATION DOSSIER" in text
+    assert "evaluation trace" in text
+    assert "Pareto front" in text
+    assert "recommendation" in text
+    assert "incremental-campaign economics" in text
+    assert result.recommended.point.name[:40] in text

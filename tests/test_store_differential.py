@@ -29,7 +29,7 @@ from repro.zones import ZoneKind, extract_zones
 #: the incremental test flips this OR gate to AND — it sits inside the
 #: BIST datapath, so most (but not all) fault cones contain it and a
 #: handful of faults genuinely change outcome class
-MUTATED_GATE = "memctrl/bist/t319"
+MUTATED_GATE = "memctrl/bist/t28"
 
 
 # ----------------------------------------------------------------------
