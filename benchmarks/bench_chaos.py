@@ -1,0 +1,180 @@
+"""Cost of the dormant failpoint instrumentation.
+
+Every durable-path operation (blob put, db commit, queue claim /
+heartbeat / transition, daemon spawn / drain) now passes through
+:func:`repro.chaos.failpoints.fail_at`.  With no failpoints armed —
+the production configuration — that call must be a single
+dict-emptiness check, so the instrumented store/queue/daemon stack
+stays within 2% of what it would cost with the call sites deleted.
+
+A direct A/B timing of warm sqlite transactions cannot resolve a 2%
+bound (fsync jitter alone exceeds it), so the budget is established
+the rigorous way: pin the per-call guard cost in nanoseconds, count
+the guard calls one operation actually traverses, and assert that
+``calls x cost`` is under 2% of the measured operation time.
+
+Writes ``BENCH_chaos.json`` (into ``$BENCH_JSON_DIR``, default the
+current directory) so CI archives the overhead measurement.
+"""
+
+import json
+import os
+import timeit
+from pathlib import Path
+
+import pytest
+
+from conftest import report
+
+import repro.service.queue as queue_mod
+import repro.store.blobs as blobs_mod
+from repro.chaos import failpoints
+from repro.chaos.failpoints import fail_at
+from repro.service import JobQueue
+from repro.store import BlobStore
+
+_RECORDS: dict[str, dict] = {}
+
+
+@pytest.fixture(autouse=True)
+def _collect_record(request):
+    """Mirror each benchmark's stats + extra_info into the JSON log."""
+    yield
+    bench = request.node.funcargs.get("benchmark")
+    if bench is None or getattr(bench, "stats", None) is None:
+        return
+    entry = {"extra_info": dict(bench.extra_info)}
+    entry["timing"] = {
+        key: value for key, value in bench.stats.stats.as_dict().items()
+        if key in ("min", "max", "mean", "stddev", "median", "rounds",
+                   "ops")}
+    _RECORDS[request.node.name] = entry
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    """Write ``BENCH_chaos.json`` once the module is done."""
+    yield
+    if not _RECORDS:
+        return
+    out = Path(os.environ.get("BENCH_JSON_DIR", ".")) \
+        / "BENCH_chaos.json"
+    out.write_text(json.dumps(
+        {"suite": "bench_chaos", "records": _RECORDS},
+        indent=2, sort_keys=True))
+
+
+def _guard_ns(benchmark=None) -> float:
+    """Measure the disarmed ``fail_at`` guard, ns per call."""
+    failpoints.clear()
+    names = [site.name for site in failpoints.registry()]
+
+    def burst():
+        for _ in range(1000):
+            for name in names:
+                fail_at(name)
+
+    calls = 1000 * len(names)
+    if benchmark is not None:
+        benchmark(burst)
+        return benchmark.stats.stats.as_dict()["mean"] / calls * 1e9
+    best = min(timeit.repeat(burst, number=1, repeat=20))
+    return best / calls * 1e9
+
+
+def _count_calls(monkeypatch, *modules) -> list[int]:
+    """Route the named modules' bound ``fail_at`` through a counter.
+
+    The durable-path modules bind ``fail_at`` at import time
+    (``from ..chaos.failpoints import fail_at``), so the counter has
+    to be planted on each consumer, not on the source module.
+    """
+    counter = [0]
+
+    def counting(name, path=None):
+        counter[0] += 1
+        return fail_at(name, path=path)
+
+    for module in modules:
+        monkeypatch.setattr(module, "fail_at", counting)
+    return counter
+
+
+def test_disabled_fail_at_is_nanoseconds(benchmark):
+    """The bare guard: with nothing armed, a ``fail_at`` call across
+    any registered site must stay in sub-microsecond territory —
+    orders of magnitude below a single sqlite statement."""
+    ns_per_call = _guard_ns(benchmark)
+    report(benchmark, sites=len(failpoints.registry()),
+           ns_per_call=f"{ns_per_call:.0f}")
+    assert ns_per_call < 2000
+
+
+def test_queue_lifecycle_instrumentation_budget(
+        benchmark, tmp_path_factory, monkeypatch):
+    """Guard cost as a fraction of one warm job lifecycle
+    (submit → claim → start → heartbeat → complete): must be <2%."""
+    counter = _count_calls(monkeypatch, queue_mod)
+    root = tmp_path_factory.mktemp("chaos") / "queue"
+
+    def lifecycle():
+        with JobQueue(root) as queue:
+            job_id = queue.submit({"variant": "small-improved"})
+            job = queue.claim("bench", lease_seconds=60.0)
+            assert job.job_id == job_id
+            queue.start(job_id, "bench")
+            queue.heartbeat(job_id, "bench")
+            queue.complete(job_id, "bench", {"exit_code": 0})
+
+    lifecycle()     # warm sqlite / create the database
+    counter[0] = 0
+    lifecycle()
+    calls_per_op = counter[0]
+    assert calls_per_op >= 3    # claim + heartbeat + transition
+
+    benchmark(lifecycle)
+    op_ns = benchmark.stats.stats.as_dict()["min"] * 1e9
+    guard_ns = _guard_ns()
+    budget_pct = calls_per_op * guard_ns / op_ns * 100
+    report(benchmark, fail_at_calls_per_lifecycle=calls_per_op,
+           guard_ns=f"{guard_ns:.0f}",
+           lifecycle_ms=f"{op_ns / 1e6:.2f}",
+           overhead_pct=f"{budget_pct:.4f}%")
+    assert budget_pct < 2.0
+
+
+def test_blob_put_instrumentation_budget(
+        benchmark, tmp_path_factory, monkeypatch):
+    """Guard cost as a fraction of one blob write.  Non-durable puts
+    are the worst case for the ratio — no fsync to hide behind — and
+    each put crosses four failpoint sites."""
+    counter = _count_calls(monkeypatch, blobs_mod)
+    root = tmp_path_factory.mktemp("chaos") / "blobs"
+    store = BlobStore(root, durable=False)
+    serial = [0]
+
+    def payload() -> bytes:
+        # fresh content each call: identical bytes dedup to the
+        # path-exists fast path and never reach the write
+        serial[0] += 1
+        return serial[0].to_bytes(8, "big") + b"x" * 4088
+
+    def put_batch():
+        for _ in range(64):
+            store.put(payload())
+
+    put_batch()     # warm the object directory fan-out
+    counter[0] = 0
+    store.put(payload())
+    calls_per_op = counter[0]
+    assert calls_per_op == 4
+
+    benchmark(put_batch)
+    op_ns = benchmark.stats.stats.as_dict()["min"] * 1e9 / 64
+    guard_ns = _guard_ns()
+    budget_pct = calls_per_op * guard_ns / op_ns * 100
+    report(benchmark, fail_at_calls_per_put=calls_per_op,
+           guard_ns=f"{guard_ns:.0f}",
+           put_us=f"{op_ns / 1e3:.1f}",
+           overhead_pct=f"{budget_pct:.4f}%")
+    assert budget_pct < 2.0

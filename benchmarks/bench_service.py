@@ -66,19 +66,19 @@ def _emit_bench_json():
 def test_service_path_overhead(benchmark, tmp_path_factory):
     """submit → claim → heartbeat → complete around one campaign vs
     the same campaign driven directly (the ``campaign`` verb's path,
-    which runs the supervisor without any queue).  Both are uncached
-    full-workload runs, so the simulations dominate identically and
+    which runs the supervisor without any queue).  Both are cold
+    store-backed full-workload runs — every simulation and every
+    durable evidence write happens identically on both sides — so
     the measured delta is purely queue + daemon bookkeeping."""
-    request = CampaignRequest(variant="small-improved", full=True,
-                              use_cache=False)
-
-    def direct():
-        outcome = CampaignService("unused-root").run_campaign(request)
-        assert outcome.exit_code == 0
-        return outcome
+    request = CampaignRequest(variant="small-improved", full=True)
 
     roots = iter(tmp_path_factory.mktemp("svc") / f"store{i}"
                  for i in range(64))
+
+    def direct():
+        outcome = CampaignService(next(roots)).run_campaign(request)
+        assert outcome.exit_code == 0
+        return outcome
 
     def through_service():
         root = next(roots)

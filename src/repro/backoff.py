@@ -1,0 +1,46 @@
+"""Decorrelated-jitter exponential backoff shared by retry loops.
+
+N daemons recovering from the same fault (a store lock storm, a
+crashed sibling's lease expiring) must not retry in lockstep: a
+deterministic ``base * factor**attempt`` schedule synchronizes them
+into a thundering herd.  Each delay is therefore drawn uniformly from
+``[base, min(cap, base * factor**attempt)]`` — the jitter scheme of
+Brooker, "Exponential Backoff And Jitter" (AWS, 2015).
+
+Chaos tests need the opposite property, reproducibility, so a
+``seed`` keys the draw: ``(seed, token, attempt)`` is hashed into the
+RNG seed (via BLAKE2, *not* Python's randomized ``hash``), making
+every delay identical across processes and runs while distinct
+``token`` values (job ids, fault indices) still de-correlate from
+each other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def decorrelated_delay(attempt: int, base: float,
+                       factor: float = 2.0,
+                       cap: float | None = None,
+                       seed: int | None = None,
+                       token: object = None) -> float:
+    """Backoff delay for retry ``attempt`` (1-based).
+
+    Unseeded, the draw uses the process RNG (different every call);
+    seeded, it is a pure function of ``(seed, token, attempt)``.
+    The minimum is always ``base``, so callers may still rely on
+    "attempt k waits at least base seconds".
+    """
+    attempt = max(1, int(attempt))
+    high = base * factor ** attempt
+    if cap is not None:
+        high = min(high, cap)
+    high = max(high, base)
+    if seed is None:
+        return random.uniform(base, high)
+    key = f"{seed}:{token}:{attempt}".encode()
+    digest = hashlib.blake2b(key, digest_size=8).digest()
+    rng = random.Random(int.from_bytes(digest, "big"))
+    return rng.uniform(base, high)

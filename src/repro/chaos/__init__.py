@@ -1,0 +1,55 @@
+"""Self-FMEA for the infrastructure: deterministic failpoints, a
+crash-consistency harness, and the rendered failure-modes worksheet.
+
+The paper's discipline — enumerate failure modes, name the detection
+and recovery mechanism for each, prove it — applied to our own
+store/queue/daemon stack (docs/methodology.md §4i).
+
+Only the failpoint primitives are imported eagerly: the store and
+queue thread :func:`fail_at` through their durable paths, so this
+package must stay import-light (the harness pulls in the service
+stack and is loaded lazily).
+"""
+
+from .failpoints import (
+    FAILPOINT_ENV,
+    FailpointSpec,
+    activate,
+    active,
+    clear,
+    fail_at,
+    parse_specs,
+    registry,
+    spec_string,
+)
+
+__all__ = [
+    "FAILPOINT_ENV",
+    "FailpointSpec",
+    "activate",
+    "active",
+    "clear",
+    "fail_at",
+    "parse_specs",
+    "registry",
+    "spec_string",
+    "ChaosHarness",
+    "ScenarioResult",
+    "scenarios",
+    "build_worksheet",
+]
+
+_LAZY = {
+    "ChaosHarness": "harness",
+    "ScenarioResult": "harness",
+    "scenarios": "harness",
+    "build_worksheet": "selffmea",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(name)
+    from importlib import import_module
+    return getattr(import_module(f".{module}", __name__), name)

@@ -1,0 +1,282 @@
+"""Deterministic infrastructure failpoints.
+
+Every durable path of the store/queue/daemon stack passes through a
+named injection site::
+
+    fail_at("store.blob.pre-rename", path=tmp)
+
+A site is inert until armed: ``fail_at`` returns after a single dict
+truthiness check when no failpoint is active, so production cost is
+one lookup (<2% on the service benchmarks, see ``bench_chaos.py``).
+Arming happens either in-process (:func:`activate`, used by unit
+tests) or — the interesting case — via the ``SOCFMEA_FAILPOINTS``
+environment variable, which the crash-consistency harness sets on
+*subprocesses* so a real campaign crashes at a chosen instruction::
+
+    SOCFMEA_FAILPOINTS="store.db.pre-commit=kill@6"
+
+Spec grammar (comma-separated): ``name=kind[:arg][@trigger]`` —
+``kind`` is one of
+
+* ``enospc`` / ``eio`` — raise ``OSError(ENOSPC/EIO)`` (sticky: every
+  hit at or past the trigger fails, like a genuinely full disk)
+* ``exc``    — raise ``RuntimeError`` (sticky)
+* ``kill``   — ``SIGKILL`` the current process (no cleanup handlers,
+  the honest crash model)
+* ``sleep:S``— sleep ``S`` seconds once, at the trigger hit (models a
+  GC pause / clock skew stalling a heartbeat past its lease)
+* ``torn``   — truncate the file passed as ``path=`` to half its
+  size, then ``SIGKILL`` (models a lost page flush: the classic torn
+  write that only fsync-before-rename or checksum-on-read catches)
+
+``@trigger`` (default 1) fires on the Nth hit of the site, so "crash
+on the sixth index commit" is expressible and exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+#: environment variable the harness uses to arm failpoints in
+#: subprocesses; parsed once at import
+FAILPOINT_ENV = "SOCFMEA_FAILPOINTS"
+
+KIND_ENOSPC = "enospc"
+KIND_EIO = "eio"
+KIND_EXC = "exc"
+KIND_KILL = "kill"
+KIND_SLEEP = "sleep"
+KIND_TORN = "torn"
+
+#: kinds that raise and keep raising (a full disk stays full)
+_STICKY = (KIND_ENOSPC, KIND_EIO, KIND_EXC)
+ALL_KINDS = (KIND_ENOSPC, KIND_EIO, KIND_EXC, KIND_KILL, KIND_SLEEP,
+             KIND_TORN)
+
+
+@dataclass(frozen=True)
+class FailpointSite:
+    """One registered injection site (static metadata)."""
+
+    name: str
+    module: str
+    description: str
+    kinds: tuple[str, ...] = ALL_KINDS
+
+
+#: the registry: every named site threaded through the stack.  The
+#: harness sweeps this — adding a site here without a scenario in
+#: ``harness.scenarios()`` fails ``soc-fmea chaos``'s coverage check.
+_SITES = [
+    FailpointSite(
+        "store.blob.pre-temp-write", "repro.store.blobs",
+        "before the blob temp file is created"),
+    FailpointSite(
+        "store.blob.post-temp-write", "repro.store.blobs",
+        "after payload written to the temp file, before fsync"),
+    FailpointSite(
+        "store.blob.pre-rename", "repro.store.blobs",
+        "after temp-file fsync, before the atomic rename"),
+    FailpointSite(
+        "store.blob.post-rename", "repro.store.blobs",
+        "after rename, before the parent directory fsync"),
+    FailpointSite(
+        "store.db.pre-commit", "repro.store.db",
+        "before a store-index write transaction commits"),
+    FailpointSite(
+        "store.db.post-commit", "repro.store.db",
+        "after a store-index write transaction commits"),
+    FailpointSite(
+        "queue.claim", "repro.service.queue",
+        "after a job claim commits, before the worker executes"),
+    FailpointSite(
+        "queue.heartbeat", "repro.service.queue",
+        "on lease heartbeat renewal"),
+    FailpointSite(
+        "queue.transition", "repro.service.queue",
+        "before a job's terminal complete/fail transition"),
+    FailpointSite(
+        "daemon.spawn", "repro.service.daemon",
+        "at worker claim-loop startup"),
+    FailpointSite(
+        "daemon.drain", "repro.service.daemon",
+        "when a draining worker decides the queue is empty"),
+]
+
+REGISTRY: dict[str, FailpointSite] = {s.name: s for s in _SITES}
+
+
+def registry() -> list[FailpointSite]:
+    """All registered sites, in declaration (stack-layer) order."""
+    return list(_SITES)
+
+
+@dataclass
+class FailpointSpec:
+    """One armed failpoint with its trigger state."""
+
+    name: str
+    kind: str
+    arg: float | None = None
+    trigger_at: int = 1
+    hits: int = field(default=0, compare=False)
+    fired: int = field(default=0, compare=False)
+
+
+class FailpointSpecError(ValueError):
+    """An unparsable or unknown failpoint spec string."""
+
+
+#: the armed set; empty in production, so ``fail_at`` is one check
+_ACTIVE: dict[str, FailpointSpec] = {}
+
+
+def parse_specs(text: str) -> dict[str, FailpointSpec]:
+    """Parse a ``name=kind[:arg][@trigger]`` comma-separated string."""
+    specs: dict[str, FailpointSpec] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, action = part.partition("=")
+        if not sep or not action:
+            raise FailpointSpecError(
+                f"failpoint spec {part!r} is not name=kind[:arg]"
+                f"[@trigger]")
+        name = name.strip()
+        if name not in REGISTRY:
+            known = ", ".join(sorted(REGISTRY))
+            raise FailpointSpecError(
+                f"unknown failpoint {name!r} (known: {known})")
+        action, at, trigger_text = action.partition("@")
+        kind, colon, arg_text = action.partition(":")
+        kind = kind.strip()
+        if kind not in ALL_KINDS:
+            raise FailpointSpecError(
+                f"unknown failpoint kind {kind!r} for {name} "
+                f"(known: {', '.join(ALL_KINDS)})")
+        arg = None
+        if colon:
+            try:
+                arg = float(arg_text)
+            except ValueError:
+                raise FailpointSpecError(
+                    f"failpoint arg {arg_text!r} is not a number"
+                ) from None
+        trigger_at = 1
+        if at:
+            try:
+                trigger_at = int(trigger_text)
+            except ValueError:
+                raise FailpointSpecError(
+                    f"failpoint trigger {trigger_text!r} is not an "
+                    f"integer") from None
+            if trigger_at < 1:
+                raise FailpointSpecError(
+                    "failpoint trigger must be >= 1")
+        specs[name] = FailpointSpec(name, kind, arg, trigger_at)
+    return specs
+
+
+def spec_string(specs: dict[str, FailpointSpec] | list[FailpointSpec]
+                ) -> str:
+    """Inverse of :func:`parse_specs` — the env-var encoding."""
+    items = specs.values() if isinstance(specs, dict) else specs
+    parts = []
+    for spec in items:
+        text = f"{spec.name}={spec.kind}"
+        if spec.arg is not None:
+            text += f":{spec.arg:g}"
+        if spec.trigger_at != 1:
+            text += f"@{spec.trigger_at}"
+        parts.append(text)
+    return ",".join(parts)
+
+
+def activate(name: str, kind: str, arg: float | None = None,
+             trigger_at: int = 1) -> FailpointSpec:
+    """Arm one failpoint in this process (unit-test entry point)."""
+    spec = parse_specs(spec_string([FailpointSpec(
+        name, kind, arg, trigger_at)]))[name]
+    _ACTIVE[name] = spec
+    return spec
+
+
+def clear(name: str | None = None) -> None:
+    """Disarm one failpoint, or all of them."""
+    if name is None:
+        _ACTIVE.clear()
+    else:
+        _ACTIVE.pop(name, None)
+
+
+def active() -> dict[str, FailpointSpec]:
+    return dict(_ACTIVE)
+
+
+def configure_from_env(environ=None) -> None:
+    """Arm failpoints from ``SOCFMEA_FAILPOINTS`` (called at import,
+    so a subprocess spawned with the variable set is armed before any
+    store/queue code runs)."""
+    text = (environ or os.environ).get(FAILPOINT_ENV)
+    if text:
+        _ACTIVE.clear()
+        _ACTIVE.update(parse_specs(text))
+
+
+def _fire(spec: FailpointSpec, path: str | None) -> None:
+    where = f"failpoint {spec.name}"
+    if spec.kind == KIND_ENOSPC:
+        raise OSError(errno.ENOSPC,
+                      f"{where}: injected ENOSPC (disk full)")
+    if spec.kind == KIND_EIO:
+        raise OSError(errno.EIO, f"{where}: injected EIO (i/o error)")
+    if spec.kind == KIND_EXC:
+        raise RuntimeError(f"{where}: injected exception")
+    if spec.kind == KIND_SLEEP:
+        time.sleep(spec.arg if spec.arg is not None else 0.1)
+        return
+    if spec.kind == KIND_TORN:
+        # lose the tail of the in-flight file, then die without
+        # cleanup — the torn-write crash model
+        if path is not None:
+            try:
+                size = os.path.getsize(path)
+                with open(path, "r+b") as handle:
+                    handle.truncate(max(1, size // 2))
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            except OSError:
+                pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    if spec.kind == KIND_KILL:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def fail_at(name: str, path: str | None = None) -> None:
+    """The injection site.  Disabled cost: one dict truthiness check.
+
+    ``path`` names the in-flight file for the ``torn`` kind; other
+    kinds ignore it.
+    """
+    if not _ACTIVE:
+        return
+    spec = _ACTIVE.get(name)
+    if spec is None:
+        return
+    spec.hits += 1
+    if spec.hits < spec.trigger_at:
+        return
+    if spec.kind == KIND_SLEEP and spec.fired:
+        return                      # a stall happens once, not forever
+    if spec.kind not in _STICKY and spec.fired:
+        return
+    spec.fired += 1
+    _fire(spec, path)
+
+
+configure_from_env()

@@ -274,6 +274,87 @@ def cmd_serve(args) -> int:
     return daemon.serve()
 
 
+def cmd_chaos(args) -> int:
+    """Self-FMEA: inject infrastructure failpoints, verify recovery.
+
+    Sweeps the enumerated failure modes of the store/queue/daemon
+    stack (or a ``--failpoint`` / ``--quick`` subset), running each
+    as a real campaign in a subprocess with the failpoint armed, and
+    renders the worksheet: failure mode → detection → recovery →
+    harness-verified verdict.  Exit 0 only when every executed mode
+    verified.
+    """
+    import json
+    import tempfile
+
+    from .chaos import build_worksheet, registry, scenarios
+    from .chaos.harness import ChaosHarness
+    from .reporting.chaos import render_failpoint_list, \
+        render_self_fmea
+
+    if args.list:
+        print(render_failpoint_list(registry()))
+        return EXIT_OK
+
+    selected = scenarios()
+    if args.failpoint:
+        known = {s.name for s in registry()}
+        missing = [name for name in args.failpoint
+                   if name not in known]
+        if missing:
+            print(f"error: unknown failpoint(s): "
+                  f"{', '.join(missing)} (see soc-fmea chaos "
+                  f"--list)", file=sys.stderr)
+            return EXIT_DIAGNOSTIC
+        selected = [s for s in selected
+                    if s.failpoint in set(args.failpoint)]
+    if args.kind:
+        selected = [s for s in selected if s.kind == args.kind]
+    if args.quick:
+        selected = [s for s in selected if s.smoke]
+    if not selected:
+        print("error: the filters match no chaos scenario",
+              file=sys.stderr)
+        return EXIT_DIAGNOSTIC
+
+    progress = None
+    if not args.quiet:
+        def progress(line):
+            print(f"  chaos: {line}", flush=True)
+
+    def run(workdir) -> int:
+        harness = ChaosHarness(workdir, variant=args.variant,
+                               progress=progress,
+                               timeout=args.timeout)
+        results = harness.sweep(selected)
+        worksheet = build_worksheet(results)
+        if args.json:
+            text = json.dumps(worksheet.as_dict(), indent=1,
+                              sort_keys=True)
+        else:
+            text = render_self_fmea(worksheet)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(f"self-FMEA report written to {args.output}")
+            if args.json:
+                # the file holds the machine copy; keep the log human
+                print(render_self_fmea(worksheet))
+            else:
+                print(f"{worksheet.verified} verified, "
+                      f"{worksheet.failed} failed, "
+                      f"{worksheet.not_run} not run")
+        else:
+            print(text)
+        return EXIT_OK if worksheet.ok else EXIT_FAILURE
+
+    if args.workdir:
+        return run(args.workdir)
+    with tempfile.TemporaryDirectory(prefix="soc-fmea-chaos-") \
+            as workdir:
+        return run(workdir)
+
+
 def cmd_jobs(args) -> int:
     """Submit and manage queued campaign jobs (executed by serve)."""
     from .reporting.jobs import render_job_detail, render_job_table
@@ -802,6 +883,41 @@ def build_parser() -> argparse.ArgumentParser:
     add_store(sp)
     sp.add_argument("job_id", type=int)
     sp.set_defaults(func=cmd_jobs)
+
+    p = sub.add_parser(
+        "chaos", help="self-FMEA: inject infrastructure failpoints "
+                      "and verify every enumerated failure mode "
+                      "recovers")
+    p.add_argument("--list", action="store_true",
+                   help="list the failpoint registry and exit")
+    p.add_argument("--failpoint", action="append", metavar="NAME",
+                   help="only scenarios of this failpoint "
+                        "(repeatable)")
+    p.add_argument("--kind", default=None,
+                   choices=["enospc", "eio", "kill", "sleep",
+                            "torn"],
+                   help="only scenarios of this fault kind")
+    p.add_argument("--quick", action="store_true",
+                   help="smoke subset (the scenarios CI runs on "
+                        "pull requests)")
+    p.add_argument("--variant", default="small-improved",
+                   choices=["baseline", "improved",
+                            "small-baseline", "small-improved"],
+                   help="campaign variant driven under injection "
+                        "(default: small-improved)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   metavar="SECONDS",
+                   help="per-subprocess budget (default: 300)")
+    p.add_argument("--workdir", default=None, metavar="DIR",
+                   help="keep scratch stores here instead of a "
+                        "temp dir")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable worksheet on stdout")
+    p.add_argument("-o", "--output", default=None, metavar="FILE",
+                   help="write the report to a file")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-scenario progress lines")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "doctor", help="audit netlist + zones + worksheet + stimuli "

@@ -146,6 +146,14 @@ CODES: dict[str, tuple[str, str]] = {
              "a dead-letter job's recorded run was garbage-collected; "
              "`store fsck --repair` deletes the job row — re-submit "
              "if the campaign is still wanted"),
+    "E413": ("store-out-of-space",
+             "the disk under the store is full; free space and re-run "
+             "— the store is consistent and resumes warm, and queued "
+             "jobs pause rather than dead-letter"),
+    "E414": ("store-io-error",
+             "the device under the store reported an i/o error; check "
+             "the filesystem, then `store fsck` — checksummed blobs "
+             "and WAL transactions bound the damage"),
 }
 
 

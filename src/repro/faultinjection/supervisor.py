@@ -55,6 +55,7 @@ from dataclasses import dataclass, field, replace
 from multiprocessing import get_context
 from multiprocessing.connection import wait as _connection_wait
 
+from ..backoff import decorrelated_delay
 from .faultlist import CandidateList
 from .faults import Fault
 from .manager import CampaignResult, FaultResult
@@ -97,9 +98,15 @@ class SupervisorConfig:
     cycle_budget: int | None = None
     #: failed-shard retries before the shard is bisected
     max_retries: int = 2
-    #: exponential backoff: attempt ``k`` waits ``base * factor**k``
+    #: retry backoff: attempt ``k`` waits a decorrelated-jitter delay
+    #: in ``[base, base * factor**k]`` (capped) so parallel
+    #: supervisors recovering from one fault don't retry in lockstep
     backoff_base: float = 0.25
     backoff_factor: float = 2.0
+    backoff_cap: float = 30.0
+    #: seeds the jitter per shard — set for reproducible retry
+    #: schedules (chaos tests); ``None`` keeps it randomized
+    backoff_seed: int | None = None
     #: isolate poison faults and complete the campaign without them;
     #: when off, an inexecutable fault raises :class:`CampaignAborted`
     quarantine: bool = True
@@ -652,8 +659,10 @@ class CampaignSupervisor:
         cfg = self.config
         if job.attempts <= cfg.max_retries:
             self._health.retries += 1
-            job.not_before = time.time() + cfg.backoff_base \
-                * cfg.backoff_factor ** (job.attempts - 1)
+            job.not_before = time.time() + decorrelated_delay(
+                job.attempts, cfg.backoff_base, cfg.backoff_factor,
+                cap=cfg.backoff_cap, seed=cfg.backoff_seed,
+                token=job.indices[0] if job.indices else 0)
             pending.append(job)
             return
         if not cfg.quarantine:

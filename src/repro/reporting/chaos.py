@@ -1,0 +1,61 @@
+"""Rendering for the self-FMEA worksheet (``soc-fmea chaos``).
+
+Same table grammar as the safety worksheet reports: an ASCII table
+of failure mode → effect → detection → recovery → verdict, plus a
+summary block.  The worksheet itself is built by
+:mod:`repro.chaos.selffmea`.
+"""
+
+from __future__ import annotations
+
+from .tables import render_kv, render_table
+
+
+def _wrap(text: str, width: int) -> str:
+    """Clip long prose cells so the table stays terminal-sized."""
+    return text if len(text) <= width else text[:width - 1] + "…"
+
+
+def render_self_fmea(worksheet, verbose: bool = False) -> str:
+    """The infrastructure failure-modes table + verdict summary."""
+    rows = []
+    for row in worksheet.rows:
+        s = row.scenario
+        rows.append([
+            _wrap(s.failure_mode, 44),
+            s.spec,
+            _wrap(s.detection, 40),
+            _wrap(s.recovery, 40),
+            row.verdict,
+        ])
+    out = [render_table(
+        ["failure mode", "failpoint", "detection", "recovery",
+         "verdict"],
+        rows,
+        title="=== self-FMEA: infrastructure failure modes ===")]
+    out.append(render_kv([
+        ("enumerated modes", len(worksheet.rows)),
+        ("verified", worksheet.verified),
+        ("failed", worksheet.failed),
+        ("not run", worksheet.not_run),
+        ("verdict", "PASS" if worksheet.ok else "FAIL"),
+    ], title="=== verdict ==="))
+    failing = [row for row in worksheet.rows if row.failures]
+    if failing:
+        lines = []
+        for row in failing:
+            lines.append(f"{row.scenario.failure_mode} "
+                         f"[{row.scenario.spec}]:")
+            for failure in row.failures:
+                lines.append(f"  - {failure if verbose else _wrap(failure, 120)}")
+        out.append("=== failed checks ===\n" + "\n".join(lines))
+    return "\n\n".join(out)
+
+
+def render_failpoint_list(sites) -> str:
+    """``soc-fmea chaos --list`` — the registry table."""
+    return render_table(
+        ["failpoint", "module", "kinds", "site"],
+        [[s.name, s.module, ",".join(s.kinds), s.description]
+         for s in sites],
+        title="=== failpoint registry ===")

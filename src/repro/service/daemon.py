@@ -27,10 +27,13 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import socket
 import time
 from dataclasses import dataclass
 
+from ..chaos.failpoints import fail_at
+from ..store.errors import StoreIOError
 from .core import (
     EXIT_DIAGNOSTIC,
     EXIT_OK,
@@ -40,6 +43,13 @@ from .core import (
 )
 from .queue import JOB_DEAD, JobLeaseLost, JobQueue, JobRow, \
     QueuePolicy
+
+
+class _GracefulStop(Exception):
+    """Raised out of the heartbeat when SIGTERM/SIGINT asked for a
+    drain: the supervisor aborts (every flushed shard is already in
+    the store), the lease is released explicitly, and the daemon
+    exits 0 instead of losing up to a lease period to expiry."""
 
 
 @dataclass
@@ -56,6 +66,9 @@ class DaemonConfig:
     #: exit once no actionable work remains (instead of serving
     #: forever)
     drain: bool = False
+    #: pause before re-polling after a store i/o failure (disk full);
+    #: the paused job is *released*, not failed — see E413
+    io_pause_seconds: float = 5.0
     #: print per-job lifecycle lines
     verbose: bool = True
 
@@ -89,36 +102,78 @@ class ServiceDaemon:
         self.config = config or DaemonConfig()
         self.service = CampaignService(store_root)
         self.root = self.service.root
+        self._stop = False
+
+    # ------------------------------------------------------------------
+    # graceful shutdown
+    # ------------------------------------------------------------------
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT request a graceful drain: the current job
+        is checkpointed (flushed shards are already durable) and
+        released, then the daemon exits 0.  No-op when not on the
+        main thread (embedded use)."""
+        def handler(signum, frame):
+            self._stop = True
+            try:
+                name = signal.Signals(signum).name
+            except ValueError:
+                name = str(signum)
+            self._log(f"received {name} — draining gracefully")
+        try:
+            signal.signal(signal.SIGTERM, handler)
+            signal.signal(signal.SIGINT, handler)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # one worker's claim loop
     # ------------------------------------------------------------------
     def worker_loop(self, index: int = 0) -> int:
-        """Claim and execute jobs until the queue drains (drain mode)
-        or forever; returns the number of jobs executed."""
+        """Claim and execute jobs until the queue drains (drain mode),
+        a shutdown signal arrives, or forever; returns the number of
+        jobs executed."""
         cfg = self.config
         owner = _owner_token(index)
         executed = 0
+        fail_at("daemon.spawn")
         queue = JobQueue(self.root, policy=QueuePolicy(
             lease_seconds=cfg.lease_seconds))
         try:
-            while True:
-                job = queue.claim(owner, cfg.lease_seconds)
+            while not self._stop:
+                try:
+                    job = queue.claim(owner, cfg.lease_seconds)
+                except StoreIOError as exc:
+                    self._log(f"worker {index}: store unavailable "
+                              f"({exc}) — "
+                              + ("exiting drain" if cfg.drain
+                                 else "pausing"))
+                    if cfg.drain:
+                        return executed
+                    time.sleep(cfg.io_pause_seconds)
+                    continue
                 if job is None:
                     if cfg.drain and not queue.has_work():
+                        fail_at("daemon.drain")
                         return executed
                     time.sleep(cfg.poll_interval)
                     continue
                 self._log(f"worker {index}: claimed job "
                           f"#{job.job_id} (attempt {job.attempts}/"
                           f"{job.max_attempts})")
-                self._execute(queue, job, owner, index)
+                status = self._execute(queue, job, owner, index)
                 executed += 1
+                if status == "io-paused":
+                    if cfg.drain:
+                        # the outage won't clear while we spin; leave
+                        # the released job queued for the next serve
+                        return executed
+                    time.sleep(cfg.io_pause_seconds)
+            return executed
         finally:
             queue.close()
 
     def _execute(self, queue: JobQueue, job: JobRow, owner: str,
-                 index: int) -> None:
+                 index: int) -> str | None:
         cfg = self.config
         try:
             request = CampaignRequest.from_dict(job.spec)
@@ -135,6 +190,8 @@ class ServiceDaemon:
 
         def heartbeat():
             nonlocal recorded
+            if self._stop:
+                raise _GracefulStop()
             if (not recorded and cache is not None
                     and cache.last_run_id is not None):
                 recorded = queue.record_run(job.job_id, owner,
@@ -151,7 +208,32 @@ class ServiceDaemon:
                 heartbeat_interval=cfg.heartbeat_interval)
         except JobLeaseLost as exc:
             self._log(f"worker {index}: {exc} — abandoning")
-            return
+            return "lease-lost"
+        except _GracefulStop:
+            released = queue.release(job.job_id, owner)
+            self._log(f"worker {index}: job #{job.job_id} "
+                      + ("released (checkpointed to store)"
+                         if released else "lease already gone")
+                      + " — shutting down")
+            return "stopped"
+        except StoreIOError as exc:
+            # environmental, not the job's fault: release (refunding
+            # the attempt) with a pause instead of dead-lettering
+            try:
+                released = queue.release(
+                    job.job_id, owner, delay=cfg.io_pause_seconds,
+                    error={"kind": "io-pause",
+                           "message": str(exc).splitlines()[0][:200]})
+            except StoreIOError:
+                # the queue shares the sick disk; lease expiry is the
+                # backstop release
+                released = False
+            self._log(f"worker {index}: job #{job.job_id} hit a "
+                      f"store i/o failure — "
+                      + (f"released with {cfg.io_pause_seconds:.0f}s "
+                         f"pause" if released else "lease already "
+                         "gone"))
+            return "io-paused"
         except Exception as exc:  # noqa: BLE001 — job-level contain
             queue.fail(job.job_id, owner, {
                 "kind": "exception", "exit_code": 1,
@@ -162,7 +244,7 @@ class ServiceDaemon:
                           f"a traceback"})
             self._log(f"worker {index}: job #{job.job_id} raised "
                       f"{type(exc).__name__}")
-            return
+            return "failed"
         finally:
             if cache is not None:
                 if not recorded and cache.last_run_id is not None:
@@ -189,8 +271,12 @@ class ServiceDaemon:
     # ------------------------------------------------------------------
     def serve(self) -> int:
         """Run the daemon; returns the process exit code (0 clean,
-        3 when dead-letter jobs remain — bounded evidence)."""
+        3 when dead-letter jobs remain — bounded evidence).
+
+        SIGTERM/SIGINT drain gracefully: the in-flight job is
+        checkpointed and released, and the exit code is 0."""
         cfg = self.config
+        self.install_signal_handlers()
         self._log(f"serving {self.root} with {cfg.workers} "
                   f"worker(s), {cfg.lease_seconds:.0f}s leases"
                   + (" (drain mode)" if cfg.drain else ""))
@@ -230,11 +316,20 @@ class ServiceDaemon:
             alive[index] = spawn(index)
         try:
             while alive:
+                if self._stop:
+                    # forward the drain request; children handle
+                    # SIGTERM by checkpointing + releasing (exit 0)
+                    for process in alive.values():
+                        process.terminate()
+                    for process in alive.values():
+                        process.join(timeout=30.0)
+                    return
                 time.sleep(cfg.poll_interval)
                 for index, process in list(alive.items()):
                     if process.is_alive():
                         continue
-                    if cfg.drain and process.exitcode == 0:
+                    if process.exitcode == 0 \
+                            and (cfg.drain or self._stop):
                         del alive[index]     # drained cleanly
                         continue
                     self._log(f"worker {index} died (exit "
@@ -254,4 +349,7 @@ class ServiceDaemon:
 def _pool_worker(root: str, config: DaemonConfig,
                  index: int) -> None:
     """Child-process entry point of one pooled claim loop."""
-    ServiceDaemon(root, config).worker_loop(index)
+    daemon = ServiceDaemon(root, config)
+    # the pool parent forwards SIGTERM; each child drains its own job
+    daemon.install_signal_handlers()
+    daemon.worker_loop(index)

@@ -47,7 +47,10 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..backoff import decorrelated_delay
+from ..chaos.failpoints import fail_at
 from ..store.db import ACTIVE_JOB_STATES, StoreDB
+from ..store.errors import raise_for_io
 
 JOB_QUEUED = "queued"
 JOB_LEASED = "leased"
@@ -73,10 +76,21 @@ class QueuePolicy:
     lease_seconds: float = 30.0
     #: claim attempts before a job is dead-lettered
     max_attempts: int = 3
-    #: exponential backoff between failed attempts: attempt ``k``
-    #: re-queues with ``not_before = now + base * factor**(k-1)``
+    #: backoff between failed attempts: attempt ``k`` re-queues after
+    #: a decorrelated-jitter delay in ``[base, base * factor**k]``
+    #: (capped) so N recovering daemons don't retry in lockstep
     backoff_base: float = 0.5
     backoff_factor: float = 2.0
+    backoff_cap: float = 60.0
+    #: seeds the jitter per ``(seed, job_id, attempt)`` — set it to
+    #: make backoff schedules reproducible across processes (chaos
+    #: tests); ``None`` keeps production randomized
+    backoff_seed: int | None = None
+    #: extra margin past ``lease_deadline`` before another daemon may
+    #: presume the owner dead and steal the job — absorbs clock skew
+    #: between hosts sharing one store (deadlines are wall-clock
+    #: timestamps written by *different* machines)
+    skew_grace: float = 0.25
 
 
 @dataclass
@@ -199,15 +213,25 @@ class JobQueue:
     # ------------------------------------------------------------------
     # worker side
     # ------------------------------------------------------------------
+    def _fail_at(self, name: str) -> None:
+        """A failpoint outside any transaction: injected disk errors
+        still surface coded (E413/E414), like the real thing would."""
+        try:
+            fail_at(name)
+        except OSError as err:
+            raise_for_io(err, str(self.db.path))
+
     def claim(self, owner: str,
               lease_seconds: float | None = None) -> JobRow | None:
         """Atomically claim the oldest actionable job for ``owner``.
 
         Actionable = ``queued`` past its backoff, or ``leased`` /
-        ``running`` with an expired lease (the previous worker died).
-        A candidate whose retry budget is already spent is
-        dead-lettered on the spot — recording the worker death as a
-        structured error — and the scan continues.
+        ``running`` whose lease expired more than ``skew_grace`` ago
+        (the previous worker died; the grace keeps a fast-clocked
+        host from stealing a live sibling's lease).  A candidate
+        whose retry budget is already spent is dead-lettered on the
+        spot — recording the worker death as a structured error —
+        and the scan continues.
         """
         lease = lease_seconds if lease_seconds is not None \
             else self.policy.lease_seconds
@@ -222,7 +246,7 @@ class JobQueue:
                     " NULL AND lease_deadline<?)"
                     " ORDER BY job_id LIMIT 1",
                     (JOB_QUEUED, now, JOB_LEASED, JOB_RUNNING,
-                     now)).fetchone()
+                     now - self.policy.skew_grace)).fetchone()
                 if row is None:
                     return None
                 job_id, status, attempts, max_attempts = row
@@ -248,6 +272,10 @@ class JobQueue:
                     " lease_owner=?, lease_deadline=?, updated_at=?"
                     " WHERE job_id=?",
                     (JOB_LEASED, owner, now + lease, now, job_id))
+            # crash window: the claim is committed but the worker has
+            # not started — recovery is lease expiry, verified by the
+            # chaos harness
+            self._fail_at("queue.claim")
             return self.job(job_id)
 
     def heartbeat(self, job_id: int, owner: str,
@@ -259,6 +287,9 @@ class JobQueue:
         """
         lease = lease_seconds if lease_seconds is not None \
             else self.policy.lease_seconds
+        # stall window: a sleep here models a GC pause / clock skew
+        # holding the renewal past the lease deadline
+        self._fail_at("queue.heartbeat")
         now = time.time()
         with self.db.immediate() as conn:
             return conn.execute(
@@ -293,6 +324,10 @@ class JobQueue:
     def complete(self, job_id: int, owner: str,
                  result: dict) -> bool:
         """Terminal success: record the result payload."""
+        # crash window: the campaign's evidence is committed to the
+        # store but the job is still leased — recovery is lease
+        # expiry plus an idempotent warm re-run (zero simulations)
+        self._fail_at("queue.transition")
         with self.db.immediate() as conn:
             return conn.execute(
                 "UPDATE jobs SET status=?, result=?, error=NULL,"
@@ -307,12 +342,14 @@ class JobQueue:
              fatal: bool = False) -> str | None:
         """Record a failed attempt.
 
-        Re-queues with exponential backoff while budget remains,
-        dead-letters otherwise.  ``fatal`` dead-letters immediately —
-        for deterministic failures (coded input diagnostics) a retry
-        can never fix.  Returns the resulting status, or ``None``
-        when the caller no longer owns the lease.
+        Re-queues with decorrelated-jitter exponential backoff while
+        budget remains, dead-letters otherwise.  ``fatal``
+        dead-letters immediately — for deterministic failures (coded
+        input diagnostics) a retry can never fix.  Returns the
+        resulting status, or ``None`` when the caller no longer owns
+        the lease.
         """
+        self._fail_at("queue.transition")
         now = time.time()
         with self.db.immediate() as conn:
             row = conn.execute(
@@ -327,8 +364,11 @@ class JobQueue:
                 status, not_before = JOB_DEAD, 0.0
             else:
                 status = JOB_QUEUED
-                not_before = now + self.policy.backoff_base \
-                    * self.policy.backoff_factor ** (attempts - 1)
+                not_before = now + decorrelated_delay(
+                    attempts, self.policy.backoff_base,
+                    self.policy.backoff_factor,
+                    cap=self.policy.backoff_cap,
+                    seed=self.policy.backoff_seed, token=job_id)
             conn.execute(
                 "UPDATE jobs SET status=?, not_before=?, error=?,"
                 " lease_owner=NULL, lease_deadline=NULL, updated_at=?"
@@ -336,6 +376,33 @@ class JobQueue:
                 (status, not_before, json.dumps(error, sort_keys=True),
                  now, job_id))
             return status
+
+    def release(self, job_id: int, owner: str, delay: float = 0.0,
+                error: dict | None = None) -> bool:
+        """Voluntarily hand a leased job back to the queue.
+
+        Unlike :meth:`fail`, releasing is *not* a failed attempt: the
+        attempt counted at claim time is refunded, so a graceful
+        shutdown (SIGTERM drain) or an environmental pause (disk
+        full, E413) never burns the job's retry budget toward the
+        dead-letter state.  ``delay`` defers the next claim —
+        io-pauses use it to wait out the outage — and ``error``
+        records why (visible in ``jobs list``) without dead-letter
+        semantics.  Owner-fenced like every transition.
+        """
+        now = time.time()
+        with self.db.immediate() as conn:
+            return conn.execute(
+                "UPDATE jobs SET status=?,"
+                " attempts=MAX(attempts-1, 0), not_before=?,"
+                " error=?, lease_owner=NULL, lease_deadline=NULL,"
+                " updated_at=? WHERE job_id=? AND lease_owner=?"
+                " AND status IN (?,?)",
+                (JOB_QUEUED, now + delay,
+                 json.dumps(error, sort_keys=True)
+                 if error is not None else None,
+                 now, job_id, owner, JOB_LEASED,
+                 JOB_RUNNING)).rowcount == 1
 
     # ------------------------------------------------------------------
     # queries

@@ -19,6 +19,7 @@ runs and reports which zones regressed.
 
 from .blobs import BlobStore, CorruptBlobError
 from .cache import CacheStats, CampaignCache, CampaignPlan
+from .errors import StoreIOError
 from .db import (
     ACTIVE_JOB_STATES,
     AnomalyRow,
@@ -47,7 +48,7 @@ __all__ = [
     "BlobStore", "CorruptBlobError",
     "CacheStats", "CampaignCache", "CampaignPlan",
     "ACTIVE_JOB_STATES", "AnomalyRow", "OutcomeRow",
-    "StoreBusyError", "StoreDB",
+    "StoreBusyError", "StoreDB", "StoreIOError",
     "FP_VERSION", "FingerprintContext", "SupportIndex",
     "fault_descriptor",
     "FsckResult", "fsck_store",

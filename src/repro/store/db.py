@@ -39,8 +39,10 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..chaos.failpoints import fail_at
 from ..diagnostics.core import DiagnosticReport
 from ..diagnostics.core import DiagnosticError as _DiagnosticError
+from .errors import StoreIOError, raise_for_io, raise_for_sqlite
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta(
@@ -220,14 +222,25 @@ class StoreDB:
         exponential backoff on top of SQLite's own busy timeout; the
         final failure surfaces as a coded :class:`StoreBusyError`
         (``E409``) so no raw ``OperationalError`` reaches the CLI.
+        Disk-level failures (full disk, i/o error) surface as coded
+        :class:`StoreIOError` (``E413``/``E414``) the same way.
+
+        The ``store.db.pre/post-commit`` failpoints bracket every
+        write transaction of the index, so the chaos harness can
+        crash a campaign between any two committed shards.
         """
         delay = BUSY_BACKOFF_BASE
         for attempt in range(1, BUSY_RETRIES + 1):
             try:
-                return txn()
+                fail_at("store.db.pre-commit")
+                result = txn()
+                fail_at("store.db.post-commit")
+                return result
+            except OSError as err:
+                raise_for_io(err, str(self.path))   # E413/E414 coded
             except sqlite3.OperationalError as err:
                 if not _is_busy(err):
-                    raise
+                    raise_for_sqlite(err, str(self.path))
                 if attempt == BUSY_RETRIES:
                     report = DiagnosticReport()
                     report.error(
@@ -248,11 +261,19 @@ class StoreDB:
         self._write(lambda: self._conn.execute("BEGIN IMMEDIATE"))
         try:
             yield self._conn
-        except BaseException:
+        except BaseException as err:
             self._conn.rollback()
+            if isinstance(err, OSError):
+                raise_for_io(err, str(self.path))   # E413/E414 coded
             raise
         else:
-            self._conn.commit()
+            try:
+                self._conn.commit()
+            except sqlite3.OperationalError as err:
+                self._conn.rollback()
+                if _is_busy(err):
+                    raise
+                raise_for_sqlite(err, str(self.path))
 
     # ------------------------------------------------------------------
     # outcome log

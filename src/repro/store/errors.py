@@ -1,0 +1,65 @@
+"""Coded store I/O failures (``E413`` disk full, ``E414`` i/o error).
+
+A full disk or a failing device mid-campaign is an *environmental*
+fault, not a program bug: it must surface as a structured diagnostic
+(no traceback, a stable code, a recovery hint) and — on the service
+path — pause the queue instead of burning a job's retry budget into
+the dead-letter state.  :func:`raise_for_io` is the single mapping
+point: durable-path ``OSError``\\ s with ``ENOSPC``/``EDQUOT``/``EIO``
+become :class:`StoreIOError`; anything else re-raises unchanged.
+"""
+
+from __future__ import annotations
+
+import errno
+import sqlite3
+
+from ..diagnostics.core import DiagnosticReport
+from ..diagnostics.core import DiagnosticError as _DiagnosticError
+
+#: errno values mapped to "the disk is full" (E413)
+_FULL_ERRNOS = (errno.ENOSPC, errno.EDQUOT)
+
+
+class StoreIOError(_DiagnosticError):
+    """The storage under the campaign store failed (``E413``/``E414``)
+    — out of space or an i/o error.  Transient from the queue's point
+    of view: jobs pause rather than dead-letter."""
+
+
+def _report(code: str, message: str, path: str) -> DiagnosticReport:
+    report = DiagnosticReport()
+    report.error(code, message, file=path)
+    return report
+
+
+def raise_for_io(err: OSError, path: str) -> None:
+    """Re-raise ``err`` as a coded :class:`StoreIOError` when it is a
+    disk-space or i/o failure; re-raise it unchanged otherwise."""
+    if isinstance(err, StoreIOError):
+        raise err
+    if err.errno in _FULL_ERRNOS:
+        raise StoreIOError(_report(
+            "E413", f"store ran out of disk space: {err}", path)
+        ) from err
+    if err.errno == errno.EIO:
+        raise StoreIOError(_report(
+            "E414", f"store hit an i/o error: {err}", path)) from err
+    raise err
+
+
+def raise_for_sqlite(err: sqlite3.OperationalError,
+                     path: str) -> None:
+    """Map SQLite's disk-failure messages onto the same codes; other
+    operational errors re-raise unchanged (busy handling stays with
+    the caller)."""
+    text = str(err).lower()
+    if "disk is full" in text or "disk full" in text:
+        raise StoreIOError(_report(
+            "E413", f"store index ran out of disk space: {err}",
+            path)) from err
+    if "disk i/o error" in text:
+        raise StoreIOError(_report(
+            "E414", f"store index hit a disk i/o error: {err}",
+            path)) from err
+    raise err

@@ -119,7 +119,10 @@ def test_heartbeat_is_monotonic_and_owner_checked(tmp_path):
 
 
 def test_expired_lease_is_reclaimed(tmp_path):
-    with JobQueue(tmp_path / "store") as queue:
+    # skew_grace=0 so the steal is immediate (the default keeps a
+    # margin for clock skew between hosts — see its own test)
+    with JobQueue(tmp_path / "store",
+                  policy=QueuePolicy(skew_grace=0.0)) as queue:
         job_id = queue.submit({}, max_attempts=3)
         queue.claim("w1", lease_seconds=0.01)
         time.sleep(0.05)
@@ -133,7 +136,8 @@ def test_expired_lease_is_reclaimed(tmp_path):
 
 
 def test_exhausted_expired_lease_dead_letters_at_claim(tmp_path):
-    with JobQueue(tmp_path / "store") as queue:
+    with JobQueue(tmp_path / "store",
+                  policy=QueuePolicy(skew_grace=0.0)) as queue:
         job_id = queue.submit({}, max_attempts=1)
         queue.claim("w1", lease_seconds=0.01)
         time.sleep(0.05)
