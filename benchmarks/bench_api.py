@@ -1,0 +1,129 @@
+"""Serving overhead of the campaign API front end.
+
+``soc-fmea serve --http`` wraps the durable job queue in a
+stdlib-``asyncio`` HTTP/JSON server (docs §4j).  The API exists for
+fault containment, not speed — but its fixed costs still have to
+disappear next to any real campaign, so this suite pins them: a
+health round-trip (one connection + bounded parse + respond), a
+submit/dedupe pair (authn + admission control + the idempotent
+enqueue, twice), and the first-snapshot turnaround of the progress
+stream.
+
+Writes ``BENCH_api.json`` (into ``$BENCH_JSON_DIR``, default the
+current directory) so CI archives the measurement.
+"""
+
+import json
+import os
+import threading
+from pathlib import Path
+
+import pytest
+
+from conftest import report
+
+from repro.api import ApiClient, ApiConfig, ApiServer
+
+_RECORDS: dict[str, dict] = {}
+
+
+@pytest.fixture(autouse=True)
+def _collect_record(request):
+    """Mirror each benchmark's stats + extra_info into the JSON log."""
+    yield
+    bench = request.node.funcargs.get("benchmark")
+    if bench is None or getattr(bench, "stats", None) is None:
+        return
+    entry = {"extra_info": dict(bench.extra_info)}
+    entry["timing"] = {
+        key: value for key, value in bench.stats.stats.as_dict().items()
+        if key in ("min", "max", "mean", "stddev", "median", "rounds",
+                   "ops")}
+    _RECORDS[request.node.name] = entry
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    """Write ``BENCH_api.json`` once the module is done."""
+    yield
+    if not _RECORDS:
+        return
+    out = Path(os.environ.get("BENCH_JSON_DIR", ".")) \
+        / "BENCH_api.json"
+    out.write_text(json.dumps(
+        {"suite": "bench_api", "records": _RECORDS},
+        indent=2, sort_keys=True))
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    """One queue-only API server (no embedded workers) for the
+    module; jobs stay queued, which is exactly what the fixed-cost
+    measurements want."""
+    root = tmp_path_factory.mktemp("api") / "store"
+    srv = ApiServer(root, ApiConfig(verbose=False,
+                                    max_queue_depth=100_000))
+    thread = threading.Thread(target=srv.run, daemon=True)
+    thread.start()
+    assert srv.wait_started(20)
+    yield srv
+    srv.stop()
+    thread.join(timeout=30)
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ApiClient("127.0.0.1", server.port, max_retries=0,
+                     timeout=10.0)
+
+
+def test_health_roundtrip(benchmark, client):
+    """Connection + bounded request parse + JSON respond, no queue
+    touch — the floor under every other endpoint."""
+    assert client.health() == {"ok": True}        # warm the path
+    benchmark(client.health)
+    per_ms = benchmark.stats.stats.as_dict()["mean"] * 1e3
+    report(benchmark, per_roundtrip_ms=f"{per_ms:.2f}")
+    assert per_ms < 100
+
+
+def test_submit_and_dedupe_pair(benchmark, client):
+    """One fresh enqueue plus one idempotency-key replay plus the
+    cancel: the full admission path (authn, watermark, quota scan,
+    check-then-insert) twice over, converging on one job — cancelled
+    at the end so the anonymous ``max_queued`` quota never fills."""
+    counter = iter(range(10_000_000))
+
+    def pair():
+        key = f"bench-{next(counter)}"
+        spec = {"variant": "small-improved", "sample": 8}
+        first = client.submit(spec, idempotency_key=key)
+        again = client.submit(spec, idempotency_key=key)
+        assert not first["deduped"] and again["deduped"]
+        assert first["job"] == again["job"]
+        client.cancel(first["job"])
+
+    benchmark(pair)
+    per_ms = benchmark.stats.stats.as_dict()["mean"] * 1e3
+    report(benchmark, per_submit_dedupe_pair_ms=f"{per_ms:.2f}")
+    # two admission passes + one INSERT must stay far below one
+    # simulated fault's cost
+    assert per_ms < 500
+
+
+def test_stream_first_snapshot_turnaround(benchmark, client):
+    """Time to open ``/v1/jobs/<id>/events`` and receive the first
+    state snapshot of a terminal job — the stream-resume cost a
+    reconnecting client pays after a drop."""
+    job_id = client.submit({"variant": "small-improved"},
+                           idempotency_key="bench-stream")["job"]
+    client.cancel(job_id)                 # terminal: stream ends fast
+
+    def first_snapshot():
+        events = list(client.stream(job_id))
+        assert events and events[-1]["status"] == "cancelled"
+
+    benchmark(first_snapshot)
+    per_ms = benchmark.stats.stats.as_dict()["mean"] * 1e3
+    report(benchmark, per_stream_open_ms=f"{per_ms:.2f}")
+    assert per_ms < 250

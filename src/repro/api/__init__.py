@@ -1,0 +1,28 @@
+"""The campaign HTTP/JSON API (docs/methodology.md §4j).
+
+``repro.api`` is the network front end of the campaign service
+stack: :mod:`~repro.api.server` serves the queue over bounded
+HTTP/1.1 (``soc-fmea serve --http``), :mod:`~repro.api.client` is
+the retrying client, :mod:`~repro.api.auth` holds token/quota
+policy, :mod:`~repro.api.events` the shared progress-event
+vocabulary, and :mod:`~repro.api.protocol` the bounded wire parsing.
+"""
+
+from .auth import AuthConfig, Principal, Quota, estimate_faults
+from .client import ApiClient, ApiClientError
+from .events import (
+    TERMINAL_STATES,
+    format_event,
+    is_terminal,
+    job_event,
+    parse_event,
+)
+from .protocol import ProtocolError, Request
+from .server import ApiConfig, ApiError, ApiServer
+
+__all__ = [
+    "ApiClient", "ApiClientError", "ApiConfig", "ApiError",
+    "ApiServer", "AuthConfig", "Principal", "ProtocolError",
+    "Quota", "Request", "TERMINAL_STATES", "estimate_faults",
+    "format_event", "is_terminal", "job_event", "parse_event",
+]

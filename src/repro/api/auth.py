@@ -1,0 +1,181 @@
+"""Token-per-project authentication and quotas for the campaign API.
+
+The auth file (``serve --http ... --auth FILE``) is a small JSON
+document mapping bearer tokens to projects and their quotas::
+
+    {
+      "schema": 1,
+      "tokens": {
+        "s3cret-alpha": {
+          "project": "alpha",
+          "max_queued": 8,
+          "max_faults_per_day": 500000
+        },
+        "s3cret-beta": {"project": "beta"}
+      }
+    }
+
+With no auth file the server runs **open**: every request is an
+anonymous principal that may target any project under the default
+quotas — the single-user workstation mode.  With an auth file, every
+request must carry ``Authorization: Bearer <token>`` (E421 / 401
+otherwise) and is pinned to the token's project: naming a different
+project in the submit body is E422 / 403, and omitting it submits to
+the token's project.
+
+Quotas are admission-control inputs, enforced by the server:
+
+* ``max_queued`` — active (queued/leased/running) jobs the project
+  may hold; beyond it the submit is shed with E426 / 429 +
+  ``Retry-After``.
+* ``max_faults_per_day`` — injection budget per rolling day, charged
+  against an *estimate* of each submitted campaign's fault count
+  (``sample`` when set, otherwise a per-variant candidate estimate
+  scaled by ``banks``).  Estimates are deliberately static — the
+  point is a cheap admission bound, not billing-grade metering.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..diagnostics import DiagnosticError, DiagnosticReport
+
+#: default quotas for anonymous principals and tokens that omit them
+DEFAULT_MAX_QUEUED = 16
+DEFAULT_MAX_FAULTS_PER_DAY = None       # unmetered
+
+#: quick-mode candidate counts per variant (measured once; see
+#: tests/test_api.py which cross-checks small-improved) — the
+#: faults-per-day estimator's lookup table, scaled by ``banks``
+VARIANT_FAULT_ESTIMATE = {
+    "small-baseline": 181,
+    "small-improved": 192,
+    "baseline": 347,
+    "improved": 361,
+}
+_FALLBACK_FAULT_ESTIMATE = 400
+
+
+@dataclass(frozen=True)
+class Quota:
+    """Per-project admission limits."""
+
+    max_queued: int = DEFAULT_MAX_QUEUED
+    max_faults_per_day: int | None = DEFAULT_MAX_FAULTS_PER_DAY
+
+
+@dataclass(frozen=True)
+class Principal:
+    """Who a request acts as, after authentication."""
+
+    project: str | None          # None = anonymous, any project
+    quota: Quota
+    token: str | None = None
+
+    def resolve_project(self, requested: str | None) -> str:
+        """The project a submit lands in (policy in the docstring
+        above); raises ``PermissionError`` on a cross-project
+        attempt by a pinned token."""
+        if self.project is None:
+            return requested or "default"
+        if requested is not None and requested != self.project:
+            raise PermissionError(
+                f"token is pinned to project {self.project!r}, "
+                f"not {requested!r}")
+        return self.project
+
+
+def estimate_faults(spec: dict) -> int:
+    """Cheap upper-ish estimate of one campaign's injection count."""
+    sample = spec.get("sample")
+    if isinstance(sample, int) and sample > 0:
+        return sample
+    base = VARIANT_FAULT_ESTIMATE.get(
+        spec.get("variant", ""), _FALLBACK_FAULT_ESTIMATE)
+    banks = spec.get("banks") or 1
+    try:
+        banks = max(int(banks), 1)
+    except (TypeError, ValueError):
+        banks = 1
+    return base * banks
+
+
+class AuthConfig:
+    """The parsed auth file (or the open, anonymous configuration)."""
+
+    def __init__(self, tokens: dict[str, Principal] | None = None):
+        self._tokens = tokens       # None = open mode
+
+    @property
+    def open_mode(self) -> bool:
+        return self._tokens is None
+
+    @classmethod
+    def open(cls) -> "AuthConfig":
+        return cls(None)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "AuthConfig":
+        """Parse an auth file; raises
+        :class:`~repro.diagnostics.DiagnosticError` (E420-coded) on
+        anything malformed so ``serve`` refuses to start open by
+        accident."""
+        report = DiagnosticReport()
+        try:
+            data = json.loads(Path(path).read_text())
+        except OSError as err:
+            report.error("E420", f"auth file unreadable: {err}",
+                         file=str(path))
+            raise DiagnosticError(report)
+        except ValueError as err:
+            report.error("E420", f"auth file is not valid JSON: "
+                                 f"{err}", file=str(path))
+            raise DiagnosticError(report)
+        if not isinstance(data, dict) \
+                or not isinstance(data.get("tokens"), dict):
+            report.error("E420",
+                         "auth file must be an object with a "
+                         "`tokens` mapping", file=str(path))
+            raise DiagnosticError(report)
+        tokens: dict[str, Principal] = {}
+        for token, entry in data["tokens"].items():
+            if not isinstance(entry, dict) \
+                    or not isinstance(entry.get("project"), str):
+                report.error(
+                    "E420",
+                    f"token entry {token[:8]!r}… needs a string "
+                    f"`project` field", file=str(path))
+                continue
+            quota = Quota(
+                max_queued=int(entry.get("max_queued",
+                                         DEFAULT_MAX_QUEUED)),
+                max_faults_per_day=(
+                    int(entry["max_faults_per_day"])
+                    if entry.get("max_faults_per_day") is not None
+                    else DEFAULT_MAX_FAULTS_PER_DAY))
+            tokens[token] = Principal(project=entry["project"],
+                                      quota=quota, token=token)
+        report.raise_if_errors()
+        return cls(tokens)
+
+    def authenticate(self, authorization: str | None) -> Principal:
+        """Resolve a request's ``Authorization`` header value.
+
+        Raises ``LookupError`` when a credential is required and
+        missing or unknown (the server maps it to E421 / 401).
+        """
+        if self.open_mode:
+            return Principal(project=None, quota=Quota())
+        if not authorization:
+            raise LookupError("missing Authorization: Bearer token")
+        scheme, _, token = authorization.partition(" ")
+        if scheme.lower() != "bearer" or not token.strip():
+            raise LookupError(
+                "Authorization header is not `Bearer <token>`")
+        principal = self._tokens.get(token.strip())
+        if principal is None:
+            raise LookupError("unknown token")
+        return principal

@@ -1,0 +1,307 @@
+"""The retrying campaign API client.
+
+:class:`ApiClient` wraps the server's JSON endpoints with the retry
+discipline the ISSUE's failure model demands, so callers get exactly
+one semantic submit no matter what the network or server does:
+
+* **transport faults and shed load retry** — connection errors,
+  timeouts, 408/429/5xx — honoring the server's ``Retry-After``
+  header when present and falling back to seeded decorrelated-jitter
+  delays (:func:`repro.backoff.decorrelated_delay`) otherwise, so a
+  thundering herd of recovering clients de-synchronizes itself;
+* **submits are idempotent by construction** — every
+  :meth:`ApiClient.submit` call fixes an idempotency key up front
+  (caller-supplied or a fresh UUID) and replays it on every retry,
+  so "kill the server after it enqueued but before it answered"
+  converges on the same job instead of double-enqueuing;
+* **progress streams resume** — events are state snapshots, so
+  :meth:`ApiClient.stream` transparently reconnects a dropped stream
+  and continues from the current state, deduping what it already
+  yielded;
+* **coded failures are terminal** — a 4xx other than 408/429 raises
+  :class:`ApiClientError` carrying the server's diagnostic code
+  immediately; retrying a deterministic rejection cannot help.
+
+Stdlib-only (``http.client``), synchronous — the intended callers
+are the CLI, tests and the chaos harness.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+import uuid
+
+from ..backoff import decorrelated_delay
+from .events import is_terminal, parse_event
+
+#: statuses the client treats as transient (retry with backoff)
+RETRYABLE_STATUSES = (408, 429, 500, 502, 503, 504)
+
+
+class ApiClientError(Exception):
+    """A terminal API failure (coded server rejection, or retries
+    exhausted)."""
+
+    def __init__(self, message: str, status: int | None = None,
+                 code: str | None = None,
+                 payload: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.payload = payload or {}
+
+
+class ApiClient:
+    """Synchronous client of one campaign API server."""
+
+    def __init__(self, host: str, port: int,
+                 token: str | None = None,
+                 max_retries: int = 8,
+                 backoff_base: float = 0.2,
+                 backoff_cap: float = 5.0,
+                 backoff_seed: int | None = None,
+                 timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        self.token = token
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.backoff_seed = backoff_seed
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport with retries
+    # ------------------------------------------------------------------
+    def _headers(self, extra: dict | None = None) -> dict:
+        headers = {"Accept": "application/json"}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        if extra:
+            headers.update(extra)
+        return headers
+
+    def _once(self, method: str, path: str,
+              body: bytes | None) -> tuple[int, dict, dict]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            headers = self._headers()
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            resp_headers = {k.lower(): v
+                            for k, v in response.getheaders()}
+            try:
+                payload = json.loads(raw.decode("utf-8")) \
+                    if raw.strip() else {}
+            except ValueError:
+                payload = {}
+            if not isinstance(payload, dict):
+                payload = {}
+            return response.status, resp_headers, payload
+        finally:
+            conn.close()
+
+    def _delay(self, attempt: int, retry_after: str | None,
+               token: str) -> float:
+        if retry_after:
+            try:
+                return max(float(retry_after), 0.05)
+            except ValueError:
+                pass
+        return decorrelated_delay(
+            attempt, self.backoff_base, cap=self.backoff_cap,
+            seed=self.backoff_seed, token=token)
+
+    def request(self, method: str, path: str,
+                body: dict | None = None) -> dict:
+        """One semantic request, retried until it sticks.
+
+        Every verb of this API is safe to replay: reads trivially,
+        cancel/retry because they are state-targeted, submit because
+        :meth:`submit` always attaches an idempotency key before
+        calling here.
+        """
+        encoded = json.dumps(body).encode("utf-8") \
+            if body is not None else None
+        failure: str | None = None
+        for attempt in range(self.max_retries + 1):
+            retry_after = None
+            try:
+                status, headers, payload = self._once(
+                    method, path, encoded)
+            except (ConnectionError, socket.timeout, socket.error,
+                    http.client.HTTPException) as err:
+                failure = f"{type(err).__name__}: {err}"
+            else:
+                if status < 400:
+                    return payload
+                error = payload.get("error") or {}
+                if status not in RETRYABLE_STATUSES:
+                    raise ApiClientError(
+                        f"{method} {path} → {status} "
+                        f"{error.get('code', '')}: "
+                        f"{error.get('message', '')}",
+                        status=status, code=error.get("code"),
+                        payload=payload)
+                failure = (f"{status} {error.get('code', '')}: "
+                           f"{error.get('message', 'transient')}")
+                retry_after = headers.get("retry-after")
+            if attempt == self.max_retries:
+                break
+            time.sleep(self._delay(attempt + 1, retry_after,
+                                   token=path))
+        raise ApiClientError(
+            f"{method} {path} failed after "
+            f"{self.max_retries + 1} attempt(s): {failure}",
+            code="retries-exhausted")
+
+    # ------------------------------------------------------------------
+    # the API surface
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def ready(self) -> dict:
+        return self.request("GET", "/readyz")
+
+    def submit(self, spec: dict | None = None,
+               project: str | None = None,
+               idempotency_key: str | None = None,
+               max_attempts: int | None = None) -> dict:
+        """Submit one campaign; returns ``{"job": id, "deduped":
+        bool, ...}``.
+
+        The idempotency key is fixed *before* the first attempt and
+        replayed verbatim on every retry — the mechanism that makes
+        a lost response or a mid-submit server crash converge on a
+        single enqueued job.  Pass your own key to make retries
+        converge across client restarts too.
+        """
+        body = dict(spec or {})
+        if project is not None:
+            body["project"] = project
+        if max_attempts is not None:
+            body["max_attempts"] = max_attempts
+        body["idempotency_key"] = idempotency_key or str(uuid.uuid4())
+        return self.request("POST", "/v1/jobs", body=body)
+
+    def job(self, job_id: int) -> dict:
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self, project: str | None = None,
+             status: str | None = None) -> list[dict]:
+        query = []
+        if project is not None:
+            query.append(f"project={project}")
+        if status is not None:
+            query.append(f"status={status}")
+        path = "/v1/jobs" + ("?" + "&".join(query) if query else "")
+        return self.request("GET", path).get("jobs", [])
+
+    def cancel(self, job_id: int) -> bool:
+        return bool(self.request(
+            "POST", f"/v1/jobs/{job_id}/cancel").get("cancel"))
+
+    def retry(self, job_id: int) -> bool:
+        return bool(self.request(
+            "POST", f"/v1/jobs/{job_id}/retry").get("retry"))
+
+    # ------------------------------------------------------------------
+    # progress streaming with resume
+    # ------------------------------------------------------------------
+    def stream(self, job_id: int):
+        """Yield progress events until the job is terminal.
+
+        Because events are state snapshots, a dropped connection —
+        server killed mid-stream, network blip — costs nothing: the
+        stream reconnects (with backoff) and resumes from the
+        current state, suppressing the duplicate snapshot it already
+        yielded.  Consecutive failed reconnects beyond the retry
+        budget raise :class:`ApiClientError`.
+        """
+        path = f"/v1/jobs/{job_id}/events"
+        last_key = None
+        failures = 0
+        while True:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+            saw_terminal = False
+            try:
+                conn.request("GET", path,
+                             headers=self._headers())
+                response = conn.getresponse()
+                if response.status >= 400:
+                    raw = response.read()
+                    try:
+                        payload = json.loads(raw.decode("utf-8"))
+                    except ValueError:
+                        payload = {}
+                    error = (payload or {}).get("error") or {}
+                    if response.status not in RETRYABLE_STATUSES:
+                        raise ApiClientError(
+                            f"stream of job #{job_id} → "
+                            f"{response.status}: "
+                            f"{error.get('message', '')}",
+                            status=response.status,
+                            code=error.get("code"), payload=payload)
+                    raise ConnectionError(
+                        f"transient {response.status}")
+                while True:
+                    line = response.readline()
+                    if not line:
+                        break
+                    event = parse_event(line.decode("utf-8"))
+                    if event is None:
+                        continue
+                    failures = 0
+                    key = json.dumps(event, sort_keys=True)
+                    if key != last_key:
+                        last_key = key
+                        yield event
+                    if is_terminal(event):
+                        saw_terminal = True
+                if saw_terminal:
+                    return
+                # stream ended without a terminal snapshot (server
+                # drain or mid-stream kill): reconnect and resume
+                raise ConnectionError("stream ended early")
+            except (ConnectionError, socket.timeout, socket.error,
+                    http.client.HTTPException) as err:
+                failures += 1
+                if failures > self.max_retries:
+                    raise ApiClientError(
+                        f"stream of job #{job_id} failed after "
+                        f"{failures} consecutive attempt(s): "
+                        f"{type(err).__name__}: {err}",
+                        code="retries-exhausted") from None
+                time.sleep(self._delay(failures, None, token=path))
+            finally:
+                conn.close()
+
+    def wait(self, job_id: int, timeout: float | None = None,
+             poll: float = 0.5) -> dict:
+        """Block until the job is terminal; returns its final state.
+
+        Polls :meth:`job` (not the stream) so it survives any number
+        of server restarts trivially.
+        """
+        deadline = time.monotonic() + timeout \
+            if timeout is not None else None
+        while True:
+            state = self.job(job_id)
+            if state.get("status") in ("done", "dead", "cancelled"):
+                return state
+            if deadline is not None \
+                    and time.monotonic() > deadline:
+                raise ApiClientError(
+                    f"job #{job_id} still "
+                    f"{state.get('status')!r} after {timeout:.0f}s",
+                    code="wait-timeout", payload=state)
+            time.sleep(poll)

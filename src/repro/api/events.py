@@ -1,0 +1,102 @@
+"""Job progress events — the shared vocabulary of the API stream.
+
+An event is a *state snapshot* of one job row, not a delta.  That
+choice is what makes the stream resumable: a client that reconnects
+after a dropped connection (or a server crash) receives the current
+state as its first event and has lost nothing it needs — there is no
+cursor to negotiate and no replay window to miss.
+
+The server's ``GET /v1/jobs/<id>/events`` endpoint emits one JSON
+line per *changed* snapshot; :mod:`repro.api.client` parses them back
+into dicts; ``soc-fmea jobs status --follow`` renders the same
+snapshots locally with :func:`format_event` — one formatting path for
+all three surfaces.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..service.queue import JOB_CANCELLED, JOB_DEAD, JOB_DONE
+
+#: states after which a stream ends (nothing further can change
+#: except an operator retry, which is a new lifecycle)
+TERMINAL_STATES = (JOB_DONE, JOB_DEAD, JOB_CANCELLED)
+
+
+def job_event(job) -> dict:
+    """The state snapshot of one :class:`~repro.service.queue.JobRow`.
+
+    Keys are stable: ``job``, ``project``, ``status``, ``attempts``,
+    ``max_attempts``; ``done``/``total`` when the executing worker
+    has heartbeated progress; ``result`` on ``done``; ``error`` on
+    ``dead``/failure.
+    """
+    event = {
+        "job": job.job_id,
+        "project": job.project,
+        "status": job.status,
+        "attempts": job.attempts,
+        "max_attempts": job.max_attempts,
+    }
+    if job.progress:
+        done = job.progress.get("done")
+        total = job.progress.get("total")
+        if done is not None:
+            event["done"] = done
+        if total is not None:
+            event["total"] = total
+    if job.status == JOB_DONE and job.result is not None:
+        event["result"] = job.result
+    if job.error is not None and job.status != JOB_DONE:
+        event["error"] = job.error
+    return event
+
+
+def event_key(event: dict) -> str:
+    """Canonical identity of a snapshot (emit-on-change filter)."""
+    return json.dumps(event, sort_keys=True)
+
+
+def is_terminal(event: dict) -> bool:
+    return event.get("status") in TERMINAL_STATES
+
+
+def format_event(event: dict) -> str:
+    """One human-readable line per snapshot (``--follow`` and the
+    client demos print these)."""
+    job = event.get("job", "?")
+    status = event.get("status", "?")
+    text = f"job #{job} {status}"
+    done, total = event.get("done"), event.get("total")
+    if done is not None:
+        if total:
+            text += f" {done}/{total} ({done / total:7.2%})"
+        else:
+            text += f" {done} done"
+    if status == JOB_DONE:
+        result = event.get("result") or {}
+        dc = result.get("measured_dc")
+        sff = result.get("safe_fraction")
+        if dc is not None:
+            text += f" — measured DC {dc:.4%}"
+        if sff is not None:
+            text += f", safe fraction {sff:.4%}"
+    elif event.get("error"):
+        error = event["error"]
+        message = error.get("message") or error.get("kind") or ""
+        if message:
+            text += f" — {message}"
+    return text
+
+
+def parse_event(line: str) -> dict | None:
+    """Parse one streamed JSON line; ``None`` for blanks/noise."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        value = json.loads(line)
+    except ValueError:
+        return None
+    return value if isinstance(value, dict) else None

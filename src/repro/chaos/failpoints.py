@@ -105,6 +105,23 @@ _SITES = [
     FailpointSite(
         "daemon.drain", "repro.service.daemon",
         "when a draining worker decides the queue is empty"),
+    FailpointSite(
+        "api.accept", "repro.api.server",
+        "when an HTTP connection is accepted, before any read"),
+    FailpointSite(
+        "api.quota-check", "repro.api.server",
+        "during submit admission control (authn, quota, watermark)"),
+    FailpointSite(
+        "api.pre-response", "repro.api.server",
+        "after a request is handled, before the response bytes are "
+        "written"),
+    FailpointSite(
+        "api.post-response", "repro.api.server",
+        "after the response bytes are flushed to the socket"),
+    FailpointSite(
+        "api.stream", "repro.api.server",
+        "before each progress event is written to a streaming "
+        "response"),
 ]
 
 REGISTRY: dict[str, FailpointSite] = {s.name: s for s in _SITES}

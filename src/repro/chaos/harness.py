@@ -4,10 +4,12 @@ campaign, then prove the invariants held.
 Each :class:`ChaosScenario` is one enumerated infrastructure failure
 mode: a failpoint × fault-kind pair plus the FMEA columns (effect,
 detection mechanism, recovery mechanism) that the self-FMEA worksheet
-renders.  The harness executes the scenario in a *subprocess* — a
-real ``soc-fmea campaign`` or ``jobs submit`` + ``serve --drain``
-against a scratch store, with ``SOCFMEA_FAILPOINTS`` armed — and
-asserts the invariant oracle:
+renders.  The harness executes the scenario in a *subprocess* with
+``SOCFMEA_FAILPOINTS`` armed — a real ``soc-fmea campaign``, a
+``jobs submit`` + ``serve --drain``, or (``api`` scenarios) a
+``serve --http`` server driven by the retrying
+:class:`repro.api.client.ApiClient` — and asserts the invariant
+oracle:
 
 1. the crash signature matches the injected fault (SIGKILL for
    kill/torn, a coded E413/E414 diagnostic with no traceback for
@@ -27,6 +29,8 @@ from __future__ import annotations
 
 import os
 import re
+import signal
+import socket
 import subprocess
 import sys
 import time
@@ -56,7 +60,7 @@ class ChaosScenario:
     effect: str
     detection: str
     recovery: str
-    mode: str = "campaign"        # campaign | service
+    mode: str = "campaign"        # campaign | service | api
     arg: float | None = None
     trigger_at: int = 1
     smoke: bool = False           # in the --quick (PR) subset
@@ -228,6 +232,54 @@ def scenarios() -> list[ChaosScenario]:
           effect="work is complete but the clean exit is lost",
           detection="all jobs already terminal; fsck clean",
           recovery="a rerun drains immediately with no work to do"),
+        # ---- HTTP API front end (client-driven) ----
+        _("server killed accepting a connection",
+          "api.accept", "kill", mode="api",
+          effect="the submit never reaches the queue; the client "
+                 "sees a dropped connection",
+          detection="client transport error (connection reset/"
+                    "refused)",
+          recovery="client retries the same idempotency key against "
+                   "the restarted server; exactly one job enqueues"),
+        _("server killed during submit admission control",
+          "api.quota-check", "kill", mode="api",
+          effect="death between authn/quota checks and the enqueue",
+          detection="client transport error; queue unchanged (the "
+                    "admission transaction never ran)",
+          recovery="idempotency-key retry converges to one job",
+          smoke=True),
+        _("store fault during submit admission (disk full)",
+          "api.quota-check", "enospc", mode="api",
+          effect="the admission path cannot read the queue",
+          detection="coded 503 E428 + Retry-After (no traceback); "
+                    "the server stays up",
+          recovery="client backs off per Retry-After; once the "
+                   "store recovers (restart here), the same key "
+                   "submits exactly once"),
+        _("server killed after enqueue, before the response",
+          "api.pre-response", "kill", mode="api",
+          effect="the job is durable but the client never hears — "
+                 "the classic lost-ack double-submit window",
+          detection="client transport error on a submit that "
+                    "actually landed",
+          recovery="the retried key dedupes onto the enqueued job; "
+                   "the re-claimed job resumes warm from the store",
+          smoke=True),
+        _("server killed after the response is flushed",
+          "api.post-response", "kill", mode="api",
+          effect="client holds the job id; server (and its embedded "
+                 "worker) die mid-campaign",
+          detection="lease expiry on the orphaned job",
+          recovery="the restarted serve re-claims and completes "
+                   "warm; a duplicate submit dedupes"),
+        _("server killed mid progress stream",
+          "api.stream", "kill", trigger_at=3, mode="api",
+          effect="the chunked event stream dies mid-campaign",
+          detection="client stream EOF without a terminal snapshot",
+          recovery="events are state snapshots: the reconnected "
+                   "stream resumes from current state, and the job "
+                   "completes bit-identically",
+          smoke=True),
     ]
 
 
@@ -247,9 +299,8 @@ class ChaosHarness:
     # ------------------------------------------------------------------
     # subprocess plumbing
     # ------------------------------------------------------------------
-    def _cli(self, args: list[str], store: Path,
-             failpoints: str | None = None,
-             timeout: float | None = None):
+    @staticmethod
+    def _env(failpoints: str | None = None) -> dict:
         env = {**os.environ,
                "PYTHONPATH": str(_SRC) + (
                    os.pathsep + os.environ["PYTHONPATH"]
@@ -257,6 +308,12 @@ class ChaosHarness:
         env.pop("SOCFMEA_FAILPOINTS", None)
         if failpoints:
             env["SOCFMEA_FAILPOINTS"] = failpoints
+        return env
+
+    def _cli(self, args: list[str], store: Path,
+             failpoints: str | None = None,
+             timeout: float | None = None):
+        env = self._env(failpoints)
         return subprocess.run(
             [sys.executable, "-m", "repro.cli",
              *args, "--store", str(store)],
@@ -277,6 +334,25 @@ class ChaosHarness:
         return ["serve", "--drain", "--lease", "2",
                 "--heartbeat-interval", "0.2",
                 "--poll-interval", "0.1"]
+
+    @staticmethod
+    def _free_port() -> int:
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    def _serve_http(self, store: Path, port: int,
+                    failpoints: str | None = None):
+        """Start ``serve --http`` as a long-lived subprocess (its
+        embedded workers use the same tight lease as ``--drain``
+        runs, so re-claim after a crash is quick)."""
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.cli",
+             "serve", "--http", f"127.0.0.1:{port}",
+             "--lease", "2", "--heartbeat-interval", "0.2",
+             "--poll-interval", "0.1", "--store", str(store)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=self._env(failpoints))
 
     @staticmethod
     def _metrics(text: str) -> dict[str, str]:
@@ -384,6 +460,164 @@ class ChaosHarness:
             f"job result {metrics} != reference {ref}"))
 
     # ------------------------------------------------------------------
+    # HTTP API scenarios (client-driven)
+    # ------------------------------------------------------------------
+    def _run_api(self, scenario: ChaosScenario, store: Path,
+                 checks: list[OracleCheck]) -> None:
+        """Drive an armed ``serve --http`` through the retrying
+        client, crash (or shed) it, then prove the idempotency-key
+        retry against an unarmed restart converges on exactly one
+        completed, bit-identical job."""
+        from ..api.client import ApiClient, ApiClientError
+
+        key = f"chaos-{scenario.slug}"
+        spec = {"variant": self.variant, "shards": 4}
+
+        def client_for(port: int) -> ApiClient:
+            return ApiClient("127.0.0.1", port, max_retries=2,
+                             backoff_base=0.1, backoff_cap=0.5,
+                             backoff_seed=7, timeout=5.0)
+
+        port = self._free_port()
+        proc = self._serve_http(store, port,
+                                failpoints=scenario.spec)
+        client = client_for(port)
+        submitted: dict | None = None
+
+        if scenario.kind == "kill":
+            # the submit retry loop doubles as the readiness wait:
+            # keep offering the same idempotency key until the armed
+            # server dies under us (accept / quota-check /
+            # pre-response) or the submit lands (post-response /
+            # stream)
+            deadline = time.monotonic() + self.timeout
+            while proc.poll() is None \
+                    and time.monotonic() < deadline:
+                try:
+                    submitted = client.submit(
+                        spec, idempotency_key=key)
+                    break
+                except ApiClientError:
+                    time.sleep(0.2)
+            if scenario.failpoint == "api.stream":
+                checks.append(OracleCheck(
+                    "submit accepted before the stream",
+                    submitted is not None,
+                    "submit never succeeded against the armed "
+                    "server"))
+                if submitted is not None:
+                    try:
+                        for _event in client.stream(
+                                submitted["job"]):
+                            pass
+                    except ApiClientError:
+                        pass    # the kill severs the stream
+            survived = False
+            try:
+                out, err = proc.communicate(timeout=60)
+            except subprocess.TimeoutExpired:
+                survived = True
+                proc.kill()
+                out, err = proc.communicate()
+            checks.append(OracleCheck(
+                "crash signature",
+                not survived and proc.returncode == -9,
+                "armed server outlived the fault (killed by "
+                "harness)" if survived else
+                f"expected SIGKILL (-9), got exit "
+                f"{proc.returncode}"))
+        else:                   # enospc: shed coded, never crash
+            ready = False
+            deadline = time.monotonic() + 30
+            while proc.poll() is None \
+                    and time.monotonic() < deadline:
+                try:
+                    client.health()
+                    ready = True
+                    break
+                except ApiClientError:
+                    time.sleep(0.2)
+            checks.append(OracleCheck(
+                "armed server serves /healthz", ready,
+                f"server never became healthy "
+                f"(exit {proc.poll()})"))
+            shed: Exception | None = None
+            try:
+                submitted = client.submit(spec,
+                                          idempotency_key=key)
+            except ApiClientError as exc:
+                shed = exc
+            checks.append(OracleCheck(
+                "submit shed with coded 503 E428",
+                shed is not None and "E428" in str(shed),
+                f"expected a coded E428 shed, got "
+                f"{shed or submitted}"))
+            submitted = None    # nothing enqueued under the fault
+            proc.send_signal(signal.SIGTERM)
+            try:
+                out, err = proc.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                out, err = proc.communicate()
+            checks.append(OracleCheck(
+                "server absorbs the fault",
+                proc.returncode == 0
+                and "Traceback" not in out + err,
+                f"expected clean SIGTERM exit without traceback, "
+                f"got exit {proc.returncode}:\n{(err or out)[-500:]}"))
+
+        self._check_fsck(store, checks,
+                         "post-crash fsck repairable", True)
+
+        # recovery: an unarmed server, the *same* idempotency key
+        port = self._free_port()
+        recover = self._serve_http(store, port)
+        client = client_for(port)
+        second: dict | None = None
+        try:
+            deadline = time.monotonic() + self.timeout
+            while recover.poll() is None \
+                    and time.monotonic() < deadline:
+                try:
+                    second = client.submit(spec,
+                                           idempotency_key=key)
+                    break
+                except ApiClientError:
+                    time.sleep(0.2)
+            listing = client.jobs() if second is not None else []
+            checks.append(OracleCheck(
+                "idempotent retry converges to one job",
+                second is not None and len(listing) == 1
+                and (submitted is None
+                     or second["job"] == submitted["job"]),
+                f"retried submit {second} against first "
+                f"{submitted}; queue holds {len(listing)} job(s)"))
+            done: dict | None = None
+            if second is not None:
+                try:
+                    done = client.wait(second["job"],
+                                       timeout=self.timeout)
+                except ApiClientError as exc:
+                    done = {"status": f"wait failed: {exc}"}
+            checks.append(OracleCheck(
+                "job completes after recovery",
+                bool(done) and done.get("status") == "done",
+                f"final state: {done}"))
+        finally:
+            if recover.poll() is None:
+                recover.send_signal(signal.SIGTERM)
+            try:
+                out, err = recover.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                recover.kill()
+                out, err = recover.communicate()
+        checks.append(OracleCheck(
+            "recovery server drains cleanly on SIGTERM",
+            recover.returncode == 0,
+            f"exit {recover.returncode}:\n{(err or out)[-500:]}"))
+        self._check_jobs_done(store, checks)
+
+    # ------------------------------------------------------------------
     # scenario execution
     # ------------------------------------------------------------------
     def run(self, scenario: ChaosScenario) -> ScenarioResult:
@@ -409,6 +643,8 @@ class ChaosHarness:
                 rerun.returncode == 0 and metrics == ref,
                 f"rerun exit {rerun.returncode}, metrics {metrics} "
                 f"!= reference {ref}:\n{rerun.stderr[-500:]}"))
+        elif scenario.mode == "api":
+            self._run_api(scenario, store, checks)
         else:
             submit = self._cli(self._submit_args(), store)
             checks.append(OracleCheck(

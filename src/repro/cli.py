@@ -251,7 +251,14 @@ def cmd_explore(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Run the campaign job-queue daemon (claim, execute, recover)."""
+    """Run the campaign job-queue daemon (claim, execute, recover).
+
+    With ``--http HOST:PORT`` the process additionally fronts the
+    queue with the campaign API (``repro.api``): the asyncio server
+    owns the sockets while the daemon's claim loops run as embedded
+    worker threads, so one SIGTERM drains both — in-flight responses
+    finish, worker leases release.
+    """
     from .service.daemon import DaemonConfig, ServiceDaemon
 
     if args.workers < 1:
@@ -266,12 +273,37 @@ def cmd_serve(args) -> int:
               "--lease, or the lease expires between renewals",
               file=sys.stderr)
         return EXIT_DIAGNOSTIC
-    daemon = ServiceDaemon(resolve_store_path(args), DaemonConfig(
+    store_root = resolve_store_path(args)
+    config = DaemonConfig(
         workers=args.workers, lease_seconds=args.lease,
         heartbeat_interval=args.heartbeat_interval,
         poll_interval=args.poll_interval, drain=args.drain,
-        verbose=not args.quiet))
-    return daemon.serve()
+        verbose=not args.quiet)
+    if not args.http:
+        daemon = ServiceDaemon(store_root, config)
+        return daemon.serve()
+
+    from .api.server import ApiConfig, ApiServer
+    host, _, port_text = args.http.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"error: --http wants HOST:PORT, got {args.http!r}",
+              file=sys.stderr)
+        return EXIT_DIAGNOSTIC
+    if args.max_queue_depth < 1:
+        print("error: --max-queue-depth must be at least 1",
+              file=sys.stderr)
+        return EXIT_DIAGNOSTIC
+    daemon = None
+    if not args.no_workers:
+        daemon = ServiceDaemon(store_root, config)
+    server = ApiServer(store_root, ApiConfig(
+        host=host or "127.0.0.1", port=port,
+        auth_path=args.auth,
+        max_queue_depth=args.max_queue_depth,
+        verbose=not args.quiet), daemon=daemon)
+    return server.run()
 
 
 def cmd_chaos(args) -> int:
@@ -371,10 +403,17 @@ def cmd_jobs(args) -> int:
             print("error: --max-attempts must be at least 1",
                   file=sys.stderr)
             return EXIT_DIAGNOSTIC
-        job_id = service.submit(CampaignRequest.from_args(args),
-                                max_attempts=args.max_attempts)
-        print(f"queued job #{job_id} (project {service.project}) — "
-              f"execute with 'soc-fmea serve'")
+        job_id, deduped = service.submit_dedup(
+            CampaignRequest.from_args(args),
+            max_attempts=args.max_attempts,
+            idempotency_key=args.idempotency_key)
+        if deduped:
+            print(f"job #{job_id} already queued under idempotency "
+                  f"key {args.idempotency_key!r} (project "
+                  f"{service.project}) — not re-enqueued")
+        else:
+            print(f"queued job #{job_id} (project {service.project})"
+                  f" — execute with 'soc-fmea serve'")
         return EXIT_OK
 
     if cmd == "list":
@@ -398,6 +437,8 @@ def cmd_jobs(args) -> int:
         print(f"error: no job #{args.job_id}", file=sys.stderr)
         return EXIT_FAILURE
     if cmd == "status":
+        if getattr(args, "follow", False):
+            job = _follow_job(service, job, args.interval)
         print(render_job_detail(job))
         return EXIT_QUARANTINE if job.status == JOB_DEAD else EXIT_OK
     if cmd == "cancel":
@@ -418,6 +459,34 @@ def cmd_jobs(args) -> int:
               f"budget")
         return EXIT_OK
     raise AssertionError(cmd)
+
+
+def _follow_job(service, job, interval: float):
+    """Poll one job until terminal, printing the API stream's
+    state-snapshot events (same formatting, no server needed)."""
+    import time as _time
+
+    from .api.events import (
+        TERMINAL_STATES,
+        event_key,
+        format_event,
+        job_event,
+    )
+
+    last = None
+    while True:
+        event = job_event(job)
+        key = event_key(event)
+        if key != last:
+            print(format_event(event), flush=True)
+            last = key
+        if job.status in TERMINAL_STATES:
+            return job
+        _time.sleep(interval)
+        refreshed = service.status(job.job_id)
+        if refreshed is None:
+            return job                 # deleted under us: last word
+        job = refreshed
 
 
 def cmd_doctor(args) -> int:
@@ -830,6 +899,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain", action="store_true",
                    help="exit once the queue holds no actionable "
                         "work instead of serving forever")
+    p.add_argument("--http", metavar="HOST:PORT", default=None,
+                   help="also serve the campaign HTTP/JSON API on "
+                        "this address (docs §4j); port 0 picks an "
+                        "ephemeral port")
+    p.add_argument("--auth", metavar="FILE", default=None,
+                   help="token/quota file for the HTTP API "
+                        "(omit = open single-user mode)")
+    p.add_argument("--max-queue-depth", type=int, default=64,
+                   metavar="N",
+                   help="HTTP admission watermark: shed submits "
+                        "with 429 once this many jobs are active "
+                        "(default: 64)")
+    p.add_argument("--no-workers", action="store_true",
+                   help="with --http: serve the API only, leaving "
+                        "execution to separate serve daemons on "
+                        "the same store")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-job lifecycle lines")
     p.set_defaults(func=cmd_serve)
@@ -849,6 +934,10 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--max-attempts", type=int, default=None,
                     help="execution attempts before the job is "
                          "dead-lettered (default: queue policy, 3)")
+    sp.add_argument("--idempotency-key", default=None, metavar="KEY",
+                    help="dedupe key: re-submitting with the same "
+                         "key returns the existing job instead of "
+                         "enqueuing a duplicate")
     sp.set_defaults(func=cmd_jobs)
 
     sp = jobs_sub.add_parser("status",
@@ -856,6 +945,13 @@ def build_parser() -> argparse.ArgumentParser:
                                   "is dead-lettered)")
     add_store(sp)
     sp.add_argument("job_id", type=int)
+    sp.add_argument("--follow", action="store_true",
+                    help="poll the job and print progress events "
+                         "(the API stream's formatting, locally) "
+                         "until it reaches a terminal state")
+    sp.add_argument("--interval", type=float, default=0.5,
+                    metavar="SECONDS",
+                    help="poll period for --follow (default: 0.5)")
     sp.set_defaults(func=cmd_jobs)
 
     sp = jobs_sub.add_parser(

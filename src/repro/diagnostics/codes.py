@@ -154,6 +154,46 @@ CODES: dict[str, tuple[str, str]] = {
              "the device under the store reported an i/o error; check "
              "the filesystem, then `store fsck` — checksummed blobs "
              "and WAL transactions bound the damage"),
+    # ------------------------------------------------- E42x campaign API
+    "E420": ("api-bad-request",
+             "the request body is not valid JSON of the documented "
+             "shape, or a field failed validation; see the attached "
+             "diagnostics"),
+    "E421": ("api-unauthorized",
+             "pass a valid token in the `Authorization: Bearer` "
+             "header (tokens live in the server's --auth file)"),
+    "E422": ("api-forbidden",
+             "the token is valid but not entitled to the requested "
+             "project; use the project the token maps to"),
+    "E423": ("api-not-found",
+             "no such route or job id"),
+    "E424": ("api-payload-too-large",
+             "the request body exceeds the server's size bound; "
+             "campaign submissions are small JSON documents — check "
+             "what the client is sending"),
+    "E425": ("api-timeout",
+             "the client did not deliver a complete request in time; "
+             "retry over a healthier connection"),
+    "E426": ("api-quota-exceeded",
+             "the project is at its queued-job or faults-per-day "
+             "quota; wait for jobs to finish (see Retry-After) or "
+             "raise the quota in the server's --auth file"),
+    "E427": ("api-overloaded",
+             "the queue is past its depth watermark; the server is "
+             "shedding load — retry after the Retry-After delay"),
+    "E428": ("api-unavailable",
+             "the store under the server is paused on a disk fault "
+             "(full disk / i/o error); the queue holds jobs instead "
+             "of dead-lettering — retry after the Retry-After delay"),
+    # ---------------------------------------- E43x campaign request
+    "E430": ("request-bad-value",
+             "the named campaign parameter is out of range; fix the "
+             "flag (CLI) or JSON field (API) and re-submit"),
+    "E431": ("request-unknown-variant",
+             "the design variant is not one of the registered "
+             "subsystem variants"),
+    "E432": ("request-unknown-engine",
+             "engine must be `interpreted` or `compiled`"),
 }
 
 

@@ -60,6 +60,14 @@ def job_detail_pairs(job, now: float | None = None
     for key in ("variant", "engine", "workers", "sample"):
         if job.spec.get(key) is not None:
             pairs.append((key, job.spec[key]))
+    if job.idempotency_key:
+        pairs.append(("idempotency key", job.idempotency_key))
+    if job.progress and job.progress.get("done") is not None:
+        done = job.progress["done"]
+        total = job.progress.get("total")
+        pairs.append(("progress",
+                      f"{done}/{total} ({pct(done / total)})"
+                      if total else str(done)))
     if job.lease_owner:
         pairs.append(("lease owner", job.lease_owner))
     if job.lease_deadline is not None:

@@ -51,6 +51,16 @@ def resolve_store_root(path: str | None = None) -> str:
     return os.environ.get("SOCFMEA_STORE") or DEFAULT_STORE
 
 
+#: registered design variants (``make_subsystem``'s factory table);
+#: ``CampaignRequest.validate`` checks against this so the CLI and the
+#: HTTP API reject an unknown variant with the same E431 diagnostic
+VARIANTS = ("baseline", "improved", "small-baseline",
+            "small-improved")
+
+#: simulation engines ``CampaignConfig`` dispatches on
+ENGINES = ("compiled", "interpreted")
+
+
 def make_subsystem(variant: str, banks: int = 1,
                    flags: dict | None = None,
                    bank_flags: list | None = None):
@@ -116,6 +126,55 @@ class CampaignRequest:
     def from_dict(cls, data: dict) -> "CampaignRequest":
         known = {f.name for f in fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
+
+    def validate(self):
+        """Check every parameter, returning a
+        :class:`~repro.diagnostics.DiagnosticReport`.
+
+        Shared by :meth:`CampaignService.run_campaign` (rendered to
+        stderr, exit 2) and the HTTP API (rendered as a 400 response
+        body), so a bad request reports the same coded diagnostics on
+        both surfaces — E430 for out-of-range values, E431/E432 for
+        unknown variant/engine — and never a traceback.
+        """
+        from ..diagnostics import DiagnosticReport
+        report = DiagnosticReport()
+        if self.variant not in VARIANTS:
+            report.error(
+                "E431",
+                f"unknown design variant {self.variant!r} (known: "
+                f"{', '.join(VARIANTS)})")
+        if self.engine not in ENGINES:
+            report.error(
+                "E432",
+                f"unknown simulation engine {self.engine!r} (known: "
+                f"{', '.join(ENGINES)})")
+        def at_least(name, value, floor):
+            if value is not None and value < floor:
+                report.error(
+                    "E430",
+                    f"{name} must be at least {floor}, got {value}")
+        at_least("workers", self.workers, 1)
+        at_least("banks", self.banks, 1)
+        at_least("shards", self.shards, 1)
+        at_least("sample", self.sample, 1)
+        at_least("machines-per-pass", self.machines_per_pass, 1)
+        at_least("max-retries", self.max_retries, 0)
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            report.error(
+                "E430",
+                f"shard-timeout must be positive, got "
+                f"{self.shard_timeout}")
+        at_least("cycle-budget", self.cycle_budget, 1)
+        if self.flags is not None and not isinstance(self.flags,
+                                                     dict):
+            report.error("E430", "flags must be a JSON object of "
+                                 "protection-flag overrides")
+        if self.bank_flags is not None \
+                and not isinstance(self.bank_flags, list):
+            report.error("E430", "bank-flags must be a JSON list of "
+                                 "per-bank override objects")
+        return report
 
     @classmethod
     def from_args(cls, args) -> "CampaignRequest":
@@ -209,11 +268,24 @@ class CampaignService:
     # job lifecycle façade (CLI ``jobs`` verbs and future APIs)
     # ------------------------------------------------------------------
     def submit(self, request: CampaignRequest,
-               max_attempts: int | None = None) -> int:
+               max_attempts: int | None = None,
+               idempotency_key: str | None = None) -> int:
+        job_id, _ = self.submit_dedup(
+            request, max_attempts=max_attempts,
+            idempotency_key=idempotency_key)
+        return job_id
+
+    def submit_dedup(self, request: CampaignRequest,
+                     max_attempts: int | None = None,
+                     idempotency_key: str | None = None
+                     ) -> tuple[int, bool]:
+        """Submit with idempotency-key dedupe; ``(job_id,
+        deduped)``."""
         with self.open_queue() as queue:
-            return queue.submit(request.to_dict(),
-                                project=self.project,
-                                max_attempts=max_attempts)
+            return queue.submit_idempotent(
+                request.to_dict(), project=self.project,
+                max_attempts=max_attempts,
+                idempotency_key=idempotency_key)
 
     def status(self, job_id: int):
         with self.open_queue() as queue:
@@ -278,11 +350,9 @@ class CampaignService:
                                    out="\n".join(out),
                                    err="\n".join(err), **kw)
 
-        if request.workers < 1:
-            err.append("error: --workers must be at least 1")
-            return outcome(EXIT_DIAGNOSTIC)
-        if request.max_retries < 0:
-            err.append("error: --max-retries must be >= 0")
+        vreport = request.validate()
+        if not vreport.ok:
+            err.append(vreport.render(title="campaign request"))
             return outcome(EXIT_DIAGNOSTIC)
         sub = make_subsystem(request.variant, banks=request.banks,
                              flags=request.flags,

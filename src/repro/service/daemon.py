@@ -187,6 +187,10 @@ class ServiceDaemon:
         service = CampaignService(self.root, project=job.project)
         cache = service.open_cache() if request.use_cache else None
         recorded = False
+        latest = {"sent": None, "done": None, "total": None}
+
+        def progress(done, total):
+            latest["done"], latest["total"] = done, total
 
         def heartbeat():
             nonlocal recorded
@@ -196,15 +200,27 @@ class ServiceDaemon:
                     and cache.last_run_id is not None):
                 recorded = queue.record_run(job.job_id, owner,
                                             cache.last_run_id)
+            # progress piggybacks on the lease renewal: one write,
+            # and observers (jobs status --follow, the API's event
+            # stream) read it off the job row
+            snapshot = None
+            if latest["done"] is not None \
+                    and latest["done"] != latest["sent"]:
+                snapshot = {"done": latest["done"],
+                            "total": latest["total"]}
             if not queue.heartbeat(job.job_id, owner,
-                                   cfg.lease_seconds):
+                                   cfg.lease_seconds,
+                                   progress=snapshot):
                 raise JobLeaseLost(
                     f"job #{job.job_id} lease lost (cancelled or "
                     f"re-claimed)")
+            if snapshot is not None:
+                latest["sent"] = latest["done"]
 
         try:
             outcome = service.run_campaign(
-                request, cache=cache, heartbeat=heartbeat,
+                request, progress=progress, cache=cache,
+                heartbeat=heartbeat,
                 heartbeat_interval=cfg.heartbeat_interval)
         except JobLeaseLost as exc:
             self._log(f"worker {index}: {exc} — abandoning")

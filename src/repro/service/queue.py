@@ -111,6 +111,8 @@ class JobRow:
     error: dict | None
     created_at: float
     updated_at: float
+    idempotency_key: str | None = None
+    progress: dict | None = None
 
     @classmethod
     def from_row(cls, row: dict) -> "JobRow":
@@ -134,7 +136,9 @@ class JobRow:
             result=decode(row["result"], None),
             error=decode(row["error"], None),
             created_at=row["created_at"],
-            updated_at=row["updated_at"])
+            updated_at=row["updated_at"],
+            idempotency_key=row.get("idempotency_key"),
+            progress=decode(row.get("progress"), None))
 
 
 class JobQueue:
@@ -172,18 +176,52 @@ class JobQueue:
     def submit(self, spec: dict, project: str = "default",
                max_attempts: int | None = None) -> int:
         """Enqueue one campaign job; returns its id."""
+        job_id, _ = self.submit_idempotent(spec, project=project,
+                                           max_attempts=max_attempts)
+        return job_id
+
+    def submit_idempotent(self, spec: dict, project: str = "default",
+                          max_attempts: int | None = None,
+                          idempotency_key: str | None = None,
+                          ) -> tuple[int, bool]:
+        """Enqueue one job, deduping on a client-supplied key.
+
+        Returns ``(job_id, deduped)``.  When ``idempotency_key`` is
+        set and a non-cancelled job of the same project already
+        carries it, that job's id is returned with ``deduped=True``
+        and nothing is inserted — so a client that retries a submit
+        after a lost response (or a server crash) converges on the
+        same job instead of double-enqueuing the campaign.
+
+        The check-then-insert runs in one ``BEGIN IMMEDIATE``
+        transaction, so two racing submitters serialize on the write
+        lock; the partial unique index on ``(project,
+        idempotency_key)`` backstops the invariant at the schema
+        level.
+        """
         budget = max_attempts if max_attempts is not None \
             else self.policy.max_attempts
         if budget < 1:
             raise ValueError("max_attempts must be at least 1")
         now = time.time()
         with self.db.immediate() as conn:
+            if idempotency_key is not None:
+                row = conn.execute(
+                    "SELECT job_id FROM jobs WHERE project=?"
+                    " AND idempotency_key=? AND status!=?"
+                    " ORDER BY job_id LIMIT 1",
+                    (project, idempotency_key,
+                     JOB_CANCELLED)).fetchone()
+                if row is not None:
+                    return row[0], True
             cursor = conn.execute(
                 "INSERT INTO jobs (created_at, updated_at, project,"
-                " status, spec, max_attempts) VALUES (?,?,?,?,?,?)",
+                " status, spec, max_attempts, idempotency_key)"
+                " VALUES (?,?,?,?,?,?,?)",
                 (now, now, project, JOB_QUEUED,
-                 json.dumps(spec, sort_keys=True), budget))
-            return cursor.lastrowid
+                 json.dumps(spec, sort_keys=True), budget,
+                 idempotency_key))
+            return cursor.lastrowid, False
 
     def cancel(self, job_id: int) -> bool:
         """Cancel an active job.  A running worker notices on its next
@@ -279,8 +317,14 @@ class JobQueue:
             return self.job(job_id)
 
     def heartbeat(self, job_id: int, owner: str,
-                  lease_seconds: float | None = None) -> bool:
+                  lease_seconds: float | None = None,
+                  progress: dict | None = None) -> bool:
         """Renew the lease; the deadline only ever moves forward.
+
+        ``progress`` (a small JSON-able dict, e.g. ``{"done": 120,
+        "total": 617}``) piggybacks on the renewal so observers —
+        ``jobs status --follow``, the API's event stream — see
+        campaign progress without a second write path.
 
         Returns ``False`` when the lease is gone (job cancelled, or
         re-claimed after an expiry) — the worker must stop.
@@ -292,6 +336,16 @@ class JobQueue:
         self._fail_at("queue.heartbeat")
         now = time.time()
         with self.db.immediate() as conn:
+            if progress is not None:
+                return conn.execute(
+                    "UPDATE jobs SET lease_deadline="
+                    " MAX(lease_deadline, ?), progress=?,"
+                    " updated_at=? WHERE job_id=? AND lease_owner=?"
+                    " AND status IN (?,?)",
+                    (now + lease,
+                     json.dumps(progress, sort_keys=True), now,
+                     job_id, owner, JOB_LEASED,
+                     JOB_RUNNING)).rowcount == 1
             return conn.execute(
                 "UPDATE jobs SET lease_deadline="
                 " MAX(lease_deadline, ?), updated_at=?"

@@ -119,26 +119,40 @@ CREATE TABLE IF NOT EXISTS shard_attempts(
     PRIMARY KEY(run_id, seq)
 );
 CREATE TABLE IF NOT EXISTS jobs(
-    job_id         INTEGER PRIMARY KEY AUTOINCREMENT,
-    created_at     REAL NOT NULL,
-    updated_at     REAL NOT NULL,
-    project        TEXT NOT NULL DEFAULT 'default',
-    status         TEXT NOT NULL DEFAULT 'queued',
-    spec           TEXT NOT NULL,
-    attempts       INTEGER NOT NULL DEFAULT 0,
-    max_attempts   INTEGER NOT NULL DEFAULT 3,
-    not_before     REAL NOT NULL DEFAULT 0.0,
-    lease_owner    TEXT,
-    lease_deadline REAL,
-    run_id         INTEGER,
-    result         TEXT,
-    error          TEXT
+    job_id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    created_at      REAL NOT NULL,
+    updated_at      REAL NOT NULL,
+    project         TEXT NOT NULL DEFAULT 'default',
+    status          TEXT NOT NULL DEFAULT 'queued',
+    spec            TEXT NOT NULL,
+    attempts        INTEGER NOT NULL DEFAULT 0,
+    max_attempts    INTEGER NOT NULL DEFAULT 3,
+    not_before      REAL NOT NULL DEFAULT 0.0,
+    lease_owner     TEXT,
+    lease_deadline  REAL,
+    run_id          INTEGER,
+    result          TEXT,
+    error           TEXT,
+    idempotency_key TEXT,
+    progress        TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_run_faults_fp
     ON run_faults(fault_fp);
 CREATE INDEX IF NOT EXISTS idx_runs_env ON runs(env_fp);
 CREATE INDEX IF NOT EXISTS idx_jobs_status ON jobs(status);
+CREATE UNIQUE INDEX IF NOT EXISTS idx_jobs_idem
+    ON jobs(project, idempotency_key)
+    WHERE idempotency_key IS NOT NULL
+      AND status != 'cancelled';
 """
+
+#: columns added to ``jobs`` after the table first shipped (PR 7);
+#: opening an old store upgrades it in place — ``CREATE TABLE IF NOT
+#: EXISTS`` alone would silently leave the schema behind
+_JOBS_MIGRATIONS = (
+    ("idempotency_key", "TEXT"),
+    ("progress", "TEXT"),
+)
 
 #: job states a queue worker may still act on — everything that is
 #: not terminally ``done`` / ``dead`` / ``cancelled``
@@ -207,7 +221,27 @@ class StoreDB:
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.execute("PRAGMA busy_timeout=30000")
         with self._conn:
+            self._migrate_jobs()
             self._conn.executescript(_SCHEMA)
+
+    def _migrate_jobs(self) -> None:
+        """Upgrade a pre-existing ``jobs`` table in place.
+
+        Runs before ``_SCHEMA`` so the partial unique index on
+        ``idempotency_key`` finds its column even on stores created
+        by older releases.
+        """
+        exists = self._conn.execute(
+            "SELECT 1 FROM sqlite_master"
+            " WHERE type='table' AND name='jobs'").fetchone()
+        if not exists:
+            return
+        have = {row[1] for row in self._conn.execute(
+            "PRAGMA table_info(jobs)")}
+        for column, decl in _JOBS_MIGRATIONS:
+            if column not in have:
+                self._conn.execute(
+                    f"ALTER TABLE jobs ADD COLUMN {column} {decl}")
 
     def close(self) -> None:
         self._conn.close()

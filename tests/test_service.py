@@ -16,6 +16,7 @@ import signal
 import sqlite3
 import subprocess
 import sys
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -212,6 +213,108 @@ def test_concurrent_claims_never_double_lease(tmp_path):
         batches = list(pool.map(grab, range(8)))
     claimed = [job_id for batch in batches for job_id in batch]
     assert sorted(claimed) == [1, 2, 3, 4]      # no duplicates
+
+
+def test_skew_grace_boundary_fences_steal(tmp_path):
+    """An expired lease is stealable only once it is *more than*
+    ``skew_grace`` past its deadline: inside the margin the (possibly
+    just slow-clocked) owner keeps the job; past it the owner is
+    presumed dead."""
+    grace = 10.0
+    with JobQueue(tmp_path / "store",
+                  policy=QueuePolicy(skew_grace=grace)) as queue:
+        job_id = queue.submit({}, max_attempts=5)
+        queue.claim("w1", lease_seconds=30.0)
+
+        def expire(offset: float) -> None:
+            with queue.db.immediate() as conn:
+                conn.execute(
+                    "UPDATE jobs SET lease_deadline=?"
+                    " WHERE job_id=?",
+                    (time.time() + offset, job_id))
+
+        # deadline passed, but still inside the grace: not stealable
+        expire(-grace + 5.0)
+        assert queue.claim("w2") is None
+        # ... and the live owner can still renew its lease
+        assert queue.heartbeat(job_id, "w1", lease_seconds=30.0)
+
+        # deadline more than the grace ago: presumed dead, stolen
+        expire(-grace - 5.0)
+        stolen = queue.claim("w2", lease_seconds=30.0)
+        assert stolen is not None and stolen.job_id == job_id
+        assert stolen.lease_owner == "w2" and stolen.attempts == 2
+        # the previous owner is fenced out from here on
+        assert not queue.heartbeat(job_id, "w1")
+
+
+def test_release_refund_is_fenced_after_concurrent_claim(tmp_path):
+    """``release()`` refunds the claim-time attempt — but only for
+    the *current* owner.  A dead worker's late release racing a
+    concurrent re-claim must not refund the new owner's attempt (the
+    linearization: the steal commits first, the stale release is a
+    no-op)."""
+    with JobQueue(tmp_path / "store",
+                  policy=QueuePolicy(skew_grace=0.0)) as queue:
+        job_id = queue.submit({}, max_attempts=3)
+        queue.claim("w1", lease_seconds=0.01)
+        time.sleep(0.05)
+        stolen = queue.claim("w2", lease_seconds=60.0)
+        assert stolen.attempts == 2
+        # w1 wakes up late and tries to hand the job back
+        assert not queue.release(job_id, "w1")
+        job = queue.job(job_id)
+        assert job.attempts == 2 and job.lease_owner == "w2"
+        # the rightful owner's release refunds its attempt and
+        # records why, without dead-letter semantics
+        assert queue.release(job_id, "w2",
+                             error={"kind": "io-pause"})
+        job = queue.job(job_id)
+        assert job.status == JOB_QUEUED and job.lease_owner is None
+        assert job.attempts == 1
+        assert job.error == {"kind": "io-pause"}
+        # the preserved budget is claimable again immediately
+        assert queue.claim("w3").attempts == 2
+
+
+def test_racing_idempotent_submitters_converge(tmp_path):
+    """Eight submitters race one idempotency key over separate
+    connections: exactly one INSERT wins and every caller gets the
+    same job id back (check-then-insert in one BEGIN IMMEDIATE,
+    backstopped by the partial unique index)."""
+    root = tmp_path / "store"
+    with JobQueue(root):
+        pass                        # create the schema up front
+    barrier = threading.Barrier(8)
+
+    def submit(worker: int):
+        with JobQueue(root) as queue:
+            barrier.wait(timeout=30)
+            return queue.submit_idempotent(
+                {"variant": "small-improved"},
+                idempotency_key="race-key")
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        results = list(pool.map(submit, range(8)))
+    ids = {job_id for job_id, _ in results}
+    assert len(ids) == 1
+    assert sum(1 for _, deduped in results if not deduped) == 1
+    (job_id,) = ids
+
+    with JobQueue(root) as queue:
+        jobs = queue.jobs()
+        assert len(jobs) == 1
+        assert jobs[0].idempotency_key == "race-key"
+        # keys are scoped per project: another namespace is free to
+        # reuse the string
+        other, deduped = queue.submit_idempotent(
+            {}, project="silicon-b", idempotency_key="race-key")
+        assert not deduped and other != job_id
+        # cancelling releases the key for a fresh enqueue
+        assert queue.cancel(job_id)
+        fresh, deduped = queue.submit_idempotent(
+            {}, idempotency_key="race-key")
+        assert not deduped and fresh != job_id
 
 
 # ----------------------------------------------------------------------
